@@ -1,0 +1,91 @@
+"""Ablation — analytic vs empirically calibrated flux kernel.
+
+An adversary with probe access can learn a correction profile to the
+closed-form kernel (Formula 3.4); this bench compares localization
+accuracy with the analytic kernel vs the calibrated one, and also
+checks the attack against *lossy* links (which the analytic model does
+not account for — calibration learns the attenuation implicitly).
+"""
+
+import numpy as np
+
+from repro.fingerprint.nls import coordinate_descent
+from repro.fingerprint.objective import FluxObjective
+from repro.fluxmodel import (
+    CalibratedFluxModel,
+    DiscreteFluxModel,
+    fit_empirical_kernel,
+)
+from repro.network import build_network, sample_sniffers_percentage
+from repro.routing import build_collection_tree
+from repro.traffic import MeasurementModel, lossy_subtree_flux
+
+
+def _localize(model_factory, net, flux, gen):
+    sniffers = sample_sniffers_percentage(net, 10, rng=gen)
+    obs = MeasurementModel(net, sniffers, smooth=True, rng=gen).observe(flux)
+    model = model_factory(net.positions[sniffers])
+    objective = FluxObjective.from_observation(model, obs)
+    pool = [net.field.sample_uniform(2500, gen)]
+    out = coordinate_descent(objective, pool, rng=gen, sweeps=1)
+    return pool[0][out.best_indices[0]]
+
+
+def test_ablation_empirical_kernel(benchmark):
+    net = build_network(rng=9)
+    kernel = fit_empirical_kernel(net, probe_count=6, rng=10)
+
+    factories = {
+        "analytic": lambda pos: DiscreteFluxModel(net.field, pos, d_floor=1.0),
+        "calibrated": lambda pos: CalibratedFluxModel(
+            net.field, pos, kernel=kernel, d_floor=1.0
+        ),
+    }
+
+    def run():
+        errors = {name: [] for name in factories}
+        for rep in range(6):
+            gen = np.random.default_rng(500 + rep)
+            truth = net.field.sample_uniform(1, gen)[0]
+            tree = build_collection_tree(net, truth, rng=gen)
+            flux = 2.0 * tree.subtree_aggregate()
+            for name, factory in factories.items():
+                est = _localize(factory, net, flux, np.random.default_rng(rep))
+                errors[name].append(float(np.linalg.norm(est - truth)))
+        return {name: float(np.mean(v)) for name, v in errors.items()}
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nablation/kernel:", {k: round(v, 2) for k, v in means.items()})
+    # Both kernels localize; calibration must not hurt.
+    assert means["calibrated"] < means["analytic"] + 0.8
+    assert means["analytic"] < 4.0
+
+
+def test_robustness_lossy_links(benchmark):
+    net = build_network(rng=11)
+
+    def run():
+        deliveries = (1.0, 0.9, 0.7)
+        errors = {p: [] for p in deliveries}
+        for rep in range(6):
+            gen = np.random.default_rng(600 + rep)
+            truth = net.field.sample_uniform(1, gen)[0]
+            tree = build_collection_tree(net, truth, rng=gen)
+            for p in deliveries:
+                flux = lossy_subtree_flux(
+                    tree, np.full(net.node_count, 2.0), p
+                )
+                est = _localize(
+                    lambda pos: DiscreteFluxModel(net.field, pos, d_floor=1.0),
+                    net,
+                    flux,
+                    np.random.default_rng(rep),
+                )
+                errors[p].append(float(np.linalg.norm(est - truth)))
+        return {p: float(np.mean(v)) for p, v in errors.items()}
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nrobustness/lossy-links:", {k: round(v, 2) for k, v in means.items()})
+    # Moderate loss barely moves the fingerprint shape: attack survives.
+    assert means[0.9] < means[1.0] + 1.5
+    assert means[0.7] < 6.0

@@ -1,0 +1,54 @@
+"""Ablations — flux-model knobs called out in DESIGN.md.
+
+* d_floor: the near-sink singularity clamp of Formula 3.4;
+* smoothing: neighborhood flux averaging (paper Section III.B claims
+  it mitigates routing randomness);
+* objective weighting: absolute (paper) vs relative residuals.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments.ablations import (
+    run_ablation_d_floor,
+    run_ablation_smoothing,
+    run_ablation_weighting,
+)
+
+
+def _by_variant(result):
+    return {row["variant"]: row["error"] for row in result.rows}
+
+
+def test_ablation_d_floor(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_ablation_d_floor(repetitions=6, rng=1),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    means = _by_variant(result)
+    # The hop-scale clamp must be competitive with alternatives.
+    assert means["d_floor=1"] < min(means.values()) + 1.5
+
+
+def test_ablation_smoothing(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_ablation_smoothing(repetitions=6, rng=2),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    means = _by_variant(result)
+    # Paper claim: neighborhood averaging mitigates routing randomness.
+    assert means["smoothing=on"] <= means["smoothing=off"] + 0.8
+
+
+def test_ablation_weighting(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_ablation_weighting(repetitions=6, rng=3),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    means = _by_variant(result)
+    # Both residual weightings localize a single user.
+    assert all(v < 4.0 for v in means.values())

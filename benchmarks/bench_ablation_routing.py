@@ -1,0 +1,58 @@
+"""Ablation — routing family and in-network aggregation robustness.
+
+The flux model (Formula 3.4) is derived for shortest-path convergecast
+but only assumes traffic concentrates toward the sink. This bench
+checks the attack against (a) greedy *geographic* routing trees and
+(b) TAG-style in-network aggregation, which breaks the raw-convergecast
+assumption and acts as an implicit defense.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments.ablations import (
+    run_ablation_aggregation,
+    run_ablation_routing,
+    run_robustness_holes,
+)
+
+
+def test_ablation_routing_family(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_ablation_routing(repetitions=6, rng=7),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    means = {row["variant"]: row["error"] for row in result.rows}
+    # The attack transfers across routing families.
+    assert means["routing=geographic"] < means["routing=bfs"] + 1.5
+    assert all(v < 4.5 for v in means.values())
+
+
+def test_ablation_aggregation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_ablation_aggregation(repetitions=6, rng=8),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    means = {row["variant"]: row["error"] for row in result.rows}
+    # Raw convergecast (factor 1) is the paper's setting and must work.
+    assert means["aggregation=1"] < 4.0
+    # Full aggregation flattens the fingerprint: accuracy degrades.
+    assert means["aggregation=0"] > means["aggregation=1"]
+
+
+def test_robustness_coverage_holes(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_robustness_holes(
+            hole_radii=(0.0, 4.0, 7.0), repetitions=5, rng=9
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    by_radius = {row["hole_radius"]: row["error"] for row in result.rows}
+    # Small holes are tolerated; a large central hole adds model
+    # mismatch and degrades accuracy.
+    assert by_radius[4.0] < by_radius[0.0] + 1.5
+    assert by_radius[7.0] >= by_radius[0.0] - 0.5

@@ -1,0 +1,79 @@
+"""Ablation — SMC machinery knobs.
+
+* resampling scheme (multinomial as in the paper vs systematic);
+* adaptive prediction budgets (KLD-style) vs the paper's fixed N=1000.
+
+Both should preserve tracking accuracy; the adaptive variant should
+also spend far fewer candidate evaluations once converged.
+"""
+
+import numpy as np
+
+from repro.mobility import linear_trajectory
+from repro.network import build_network, sample_sniffers_percentage
+from repro.smc import SequentialMonteCarloTracker, TrackerConfig
+from repro.traffic import FluxSimulator, MeasurementModel, synchronous_schedule
+
+
+def _run(config: TrackerConfig, seed: int):
+    gen = np.random.default_rng(seed)
+    net = build_network(rng=gen)
+    rounds = 8
+    traj = linear_trajectory((5.0, 6.0), (24.0, 22.0), rounds)
+    schedule = synchronous_schedule([traj.positions], [2.0])
+    sim = FluxSimulator(net, rng=gen)
+    sniffers = sample_sniffers_percentage(net, 10, rng=gen)
+    measure = MeasurementModel(net, sniffers, smooth=True, rng=gen)
+    tracker = SequentialMonteCarloTracker(
+        net.field, net.positions[sniffers], 1, config, rng=gen
+    )
+    pool_sizes = []
+    errors = []
+    for k, (t, events) in enumerate(schedule.windows(1.0)):
+        step = tracker.step(measure.observe(sim.window_flux(events).total, time=t))
+        errors.append(float(np.linalg.norm(step.estimates[0] - traj.positions[k])))
+        pool_sizes.append(step.sample_sets[0].count)
+    return float(np.mean(errors[rounds // 2 :]))
+
+
+def test_ablation_resampling_scheme(benchmark):
+    def run():
+        out = {}
+        for scheme in ("multinomial", "systematic"):
+            cfg = TrackerConfig(
+                prediction_count=500, keep_count=10, max_speed=5.0,
+                resampling=scheme,
+            )
+            out[scheme] = float(
+                np.mean([_run(cfg, seed) for seed in (1, 2, 3)])
+            )
+        return out
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nablation/resampling:", {k: round(v, 2) for k, v in means.items()})
+    # Systematic resampling must not degrade accuracy.
+    assert means["systematic"] < means["multinomial"] + 1.0
+
+
+def test_ablation_adaptive_budget(benchmark):
+    def run():
+        fixed = TrackerConfig(
+            prediction_count=1000, keep_count=10, max_speed=5.0
+        )
+        adaptive = TrackerConfig(
+            prediction_count=1000, keep_count=10, max_speed=5.0,
+            adaptive_predictions=True,
+        )
+        return {
+            "fixed_N1000": float(
+                np.mean([_run(fixed, seed) for seed in (1, 2, 3)])
+            ),
+            "adaptive": float(
+                np.mean([_run(adaptive, seed) for seed in (1, 2, 3)])
+            ),
+        }
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nablation/adaptive-budget:", {k: round(v, 2) for k, v in means.items()})
+    # Adaptive budgets keep accuracy within a small margin of fixed N.
+    assert means["adaptive"] < means["fixed_N1000"] + 1.5

@@ -1,0 +1,46 @@
+"""Extension bench — traffic-reshaping defenses (paper Section VI).
+
+The paper's future work proposes "reshaping the network traffics to
+prevent malicious detection". This bench quantifies the trade-off:
+attack error vs traffic overhead for uniform padding and dummy-sink
+injection.
+"""
+
+import numpy as np
+
+from repro.countermeasures import defense_tradeoff
+from repro.network import build_network
+
+
+def test_defense_tradeoff(benchmark):
+    net = build_network(rng=4)
+    points = benchmark.pedantic(
+        lambda: defense_tradeoff(
+            net,
+            user_count=2,
+            padding_levels=(0.0, 0.5, 0.9),
+            dummy_counts=(2, 4),
+            repetitions=3,
+            candidate_count=1200,
+            rng=11,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\ncountermeasures trade-off:")
+    for p in points:
+        print(
+            f"  {p.defense:<12} param={p.parameter:<5g} "
+            f"attack_error={p.attack_error:6.2f} overhead={p.overhead:7.1%}"
+        )
+    base = next(p for p in points if p.defense == "padding" and p.parameter == 0)
+    heavy_pad = next(
+        p for p in points if p.defense == "padding" and p.parameter == 0.9
+    )
+    # Strong padding must blind the attack (error grows a lot)...
+    assert heavy_pad.attack_error > 2 * base.attack_error
+    # ...at substantial traffic overhead.
+    assert heavy_pad.overhead > 1.0
+    # Dummy sinks cost less but confuse the attacker measurably.
+    dummies = [p for p in points if p.defense == "dummy_sinks"]
+    assert all(p.attack_error > base.attack_error for p in dummies)

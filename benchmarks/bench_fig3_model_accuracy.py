@@ -1,0 +1,49 @@
+"""Fig. 3 — flux-model approximation accuracy.
+
+Paper: (a) 80%+ of nodes approximated within 0.4 error rate on
+2500-node uniform-random networks, improving as the average degree
+grows 12 -> 16 -> 27; (b) the approximation error falls with hop count
+and nodes >= 3 hops out still carry >70% of the network flux.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import run_fig3a, run_fig3b
+
+
+def test_fig3a_error_rate_cdf(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_fig3a(
+            degrees=(12.0, 16.0, 27.0),
+            node_count=2500,
+            field_size=50.0,
+            sink_count=3,
+            rng=bench_seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    fractions = [row["P[err<=0.4]"] for row in result.rows]
+    # Paper shape: most nodes under 0.4 error, improving with density.
+    assert all(f > 0.6 for f in fractions)
+    assert fractions[-1] >= fractions[0] - 0.05
+
+
+def test_fig3b_flux_by_hops(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_fig3b(
+            node_count=2500, field_size=50.0, degree=12.0, rng=bench_seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    # Paper shape: >= 3-hop nodes preserve well over half the flux.
+    assert result.metadata["flux_fraction_beyond_3_hops"] > 0.6
+    # Near-sink rows are the worst-modeled ones.
+    near = [r for r in result.rows if r["hops"] <= 2]
+    mid = [r for r in result.rows if 3 <= r["hops"] <= 8]
+    if near and mid:
+        near_err = sum(r["median_err_rate"] for r in near) / len(near)
+        mid_err = sum(r["median_err_rate"] for r in mid) / len(mid)
+        assert mid_err <= near_err + 0.1

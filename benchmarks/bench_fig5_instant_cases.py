@@ -1,0 +1,28 @@
+"""Fig. 5 — instant localization case studies.
+
+Paper: with 10,000 candidate samples and top-10 compositions kept, the
+average error over the top fits is ~0.97 / 1.27 / 1.63 for 1 / 2 / 3
+users on the 30x30 field (worst cases 1.78 / 2.06). Error grows with
+the user count because the users' fluxes superpose.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import PaperDefaults, run_fig5
+
+
+def test_fig5_instant_localization(benchmark, bench_seed):
+    defaults = PaperDefaults().scaled(2)  # 5000 candidates
+    result = benchmark.pedantic(
+        lambda: run_fig5(
+            user_counts=(1, 2, 3), defaults=defaults, rng=bench_seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    errors = {row["users"]: row["majority_error"] for row in result.rows}
+    # Paper magnitudes are ~1-2 on a 42-diameter field; allow 2x slack
+    # (our substrate is a simulator, shapes matter more than values).
+    assert errors[1] < 4.0
+    assert errors[2] < 5.0
+    assert errors[3] < 6.0

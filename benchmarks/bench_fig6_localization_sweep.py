@@ -1,0 +1,56 @@
+"""Fig. 6 — localization accuracy sweeps.
+
+Paper: (a) error vs percentage of sampling nodes (40/20/10/5 %): at
+10% the errors are 1.23 / 1.52 / 1.84 / 2.01 for 1-4 users and blow up
+below 5%; (b) error vs node count (900-1800, 90 fixed reports):
+density helps only mildly.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.experiments import PaperDefaults, run_fig6a, run_fig6b
+
+_DEFAULTS = PaperDefaults().scaled(4)  # 2500 candidates per restart
+
+
+def test_fig6a_error_vs_sampling_percentage(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_fig6a(
+            user_counts=(1, 2, 3, 4),
+            repetitions=3,
+            defaults=_DEFAULTS,
+            rng=bench_seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    by_pct = {row["percentage"]: row for row in result.rows}
+    # Paper shape 1: error grows (weakly) as sampling drops 40 -> 5 %.
+    for users in (1, 2):
+        key = f"{users}_user"
+        assert by_pct[5.0][key] >= by_pct[40.0][key] - 0.5
+    # Paper shape 2: more users -> more error (at 10%).
+    assert by_pct[10.0]["4_user"] >= by_pct[10.0]["1_user"] - 0.5
+    # Paper magnitude: at 10% errors stay small relative to the field.
+    assert by_pct[10.0]["1_user"] < 4.0
+
+
+def test_fig6b_error_vs_density(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_fig6b(
+            user_counts=(1, 2),
+            repetitions=3,
+            defaults=_DEFAULTS,
+            rng=bench_seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    errors = [row["1_user"] for row in result.rows]
+    # Paper shape: density's impact is "fairly limited" — no blow-up
+    # across 900 -> 1800 nodes.
+    assert max(errors) - min(errors) < 2.0
+    assert all(e < 4.0 for e in errors)

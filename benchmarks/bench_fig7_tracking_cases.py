@@ -1,0 +1,29 @@
+"""Fig. 7 — SMC tracking case studies.
+
+Paper: estimates converge from the initial uniform prior to the true
+trajectories; final error below 2; with crossing trajectories the two
+users' *locations* stay accurate while their *identities* may mix.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import PaperDefaults, run_fig7
+
+
+def test_fig7_tracking_cases(benchmark, bench_seed):
+    defaults = PaperDefaults().scaled(2)  # N=500 predictions
+    result = benchmark.pedantic(
+        lambda: run_fig7(defaults=defaults, rng=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    rows = {row["case"]: row for row in result.rows}
+    # Convergence: late-half error far below the first-round error for
+    # the single-user case (which starts from a uniform prior).
+    one = rows["one user"]
+    assert one["mean_error_last_half"] < max(one["first_round_error"], 4.0)
+    # Magnitude: converged errors in the paper are < 2; allow 2x.
+    for case in ("one user", "two users"):
+        assert rows[case]["mean_error_last_half"] < 4.0
+    # The crossing case still tracks locations.
+    assert rows["two users (crossing)"]["mean_error_last_half"] < 5.0

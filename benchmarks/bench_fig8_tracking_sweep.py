@@ -1,0 +1,47 @@
+"""Fig. 8 — tracking accuracy sweeps.
+
+Paper: (a) tracking error stays stable until the sampling percentage
+drops below 5% (10% is already acceptable); (b) network density
+(900-1800 nodes, 90 reports) does not significantly affect accuracy.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import PaperDefaults, run_fig8a, run_fig8b
+
+_DEFAULTS = PaperDefaults().scaled(4)  # N=250 predictions
+
+
+def test_fig8a_tracking_vs_sampling_percentage(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_fig8a(
+            user_counts=(1, 2),
+            repetitions=2,
+            defaults=_DEFAULTS,
+            rng=bench_seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    by_pct = {row["percentage"]: row for row in result.rows}
+    # Paper shape: 40 -> 10 % roughly stable for the single user...
+    assert by_pct[10.0]["1_user"] < by_pct[40.0]["1_user"] + 2.5
+    # ...and accuracy still useful at 10%.
+    assert by_pct[10.0]["1_user"] < 5.0
+
+
+def test_fig8b_tracking_vs_density(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_fig8b(
+            user_counts=(1, 2),
+            repetitions=2,
+            defaults=_DEFAULTS,
+            rng=bench_seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    errors = [row["1_user"] for row in result.rows]
+    # Paper shape: density does not significantly affect accuracy.
+    assert max(errors) - min(errors) < 3.0

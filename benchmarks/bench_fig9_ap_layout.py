@@ -1,0 +1,24 @@
+"""Fig. 9 — campus AP landmark layout.
+
+Paper: ~500 APs are distributed within the Dartmouth campus; the 50 of
+them inside a rectangular region serve as landmark references for the
+locations of mobile users.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments import run_fig9
+
+
+def test_fig9_ap_landmark_layout(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        lambda: run_fig9(ap_count=500, landmark_count=50, rng=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    report(benchmark, result)
+    row = result.rows[0]
+    assert row["total_aps"] == 500
+    assert row["landmark_aps"] == 50
+    assert row["region_width"] > 0 and row["region_height"] > 0
+    # Landmarks must be dense enough to act as position references.
+    assert row["median_nearest_ap_spacing"] < row["region_width"] / 4

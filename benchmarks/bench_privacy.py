@@ -1,0 +1,52 @@
+"""Extension bench — privacy quantification of the attack.
+
+Turns the paper's headline ("most existing systems are vulnerable")
+into numbers: the probability a user is pinned within 2 field units,
+and the privacy loss (1 - anonymity-area / field-area), as a function
+of the sniffing percentage.
+"""
+
+import numpy as np
+
+from repro.analysis import localization_privacy
+from repro.experiments.ablations import single_user_attack_error
+from repro.network import build_network
+from repro.routing import build_collection_tree
+
+
+def test_privacy_vs_sniffing_budget(benchmark):
+    net = build_network(rng=13)
+
+    def run():
+        reports = {}
+        for pct in (20.0, 10.0, 5.0):
+            errors = []
+            for rep in range(8):
+                gen = np.random.default_rng(700 + rep)
+                truth = net.field.sample_uniform(1, gen)[0]
+                tree = build_collection_tree(net, truth, rng=gen)
+                flux = 2.0 * tree.subtree_aggregate()
+                errors.append(
+                    single_user_attack_error(
+                        net,
+                        flux,
+                        truth,
+                        np.random.default_rng(rep),
+                        sniffer_percentage=pct,
+                        candidate_count=2000,
+                    )
+                )
+            reports[pct] = localization_privacy(
+                np.asarray(errors), net.field, radii=(2.0, 5.0)
+            )
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nprivacy vs sniffing budget:")
+    for pct, report in sorted(reports.items(), reverse=True):
+        print(f"  {pct:5.1f}% sniffers: {report.summary()}")
+    # Headline claim: sniffing 10% of nodes pins users within 5 units
+    # most of the time and destroys most of their location privacy.
+    r10 = reports[10.0]
+    assert r10.pinning[5.0] >= 0.6
+    assert r10.privacy_loss >= 0.5

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Traffic-reshaping defenses vs the flux attack (paper future work).
+
+The paper's conclusion proposes "reshaping the network traffics to
+prevent malicious detection" as the countermeasure direction. This
+demo quantifies two defenses:
+
+* uniform padding — every node pads toward the max flux level;
+* dummy sinks — the network runs decoy collection trees.
+
+Run:  python examples/countermeasures_demo.py
+"""
+
+import numpy as np
+
+from repro import build_network
+from repro.countermeasures import defense_tradeoff
+
+
+def main() -> None:
+    network = build_network(rng=3)
+    print("Measuring attack error vs defense strength (2 real users)...\n")
+    points = defense_tradeoff(
+        network,
+        user_count=2,
+        padding_levels=(0.0, 0.3, 0.6, 0.9),
+        dummy_counts=(1, 2, 4),
+        repetitions=3,
+        rng=17,
+    )
+    baseline = next(
+        p for p in points if p.defense == "padding" and p.parameter == 0.0
+    )
+    print(f"{'defense':<12} {'param':>6} {'attack err':>10} {'overhead':>9}")
+    for p in points:
+        print(
+            f"{p.defense:<12} {p.parameter:>6.2f} {p.attack_error:>10.2f} "
+            f"{p.overhead:>8.0%}"
+        )
+    print(
+        f"\nUndefended attack error: {baseline.attack_error:.2f}. Defenses "
+        "trade traffic overhead for attacker confusion — the flux "
+        "fingerprint only disappears when padding flattens (or decoys "
+        "drown) the traffic pattern."
+    )
+
+
+if __name__ == "__main__":
+    main()

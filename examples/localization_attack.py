@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Multi-user instant localization + the briefing alternative (Figs. 4-5).
+
+Three users collect simultaneously. The script contrasts the two
+attack regimes the paper develops:
+
+* full-information *briefing* (Section III.C): sniff every node,
+  recursively peel traffic peaks;
+* sparse *NLS fingerprinting* (Section IV.A): sniff only 10% of the
+  nodes and fit all user positions jointly.
+
+Run:  python examples/localization_attack.py
+"""
+
+import numpy as np
+
+from repro import (
+    MeasurementModel,
+    NLSLocalizer,
+    brief_flux_map,
+    build_network,
+    sample_sniffers_percentage,
+    simulate_flux,
+)
+from repro.fingerprint.nls import forward_select_active
+from repro.smc.association import assignment_errors
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    network = build_network(rng=rng)
+    user_count = 3
+
+    truth = network.field.sample_uniform(user_count, rng)
+    stretches = rng.uniform(1.0, 3.0, user_count)
+    print("True user positions:")
+    for i, (pos, s) in enumerate(zip(truth, stretches)):
+        print(f"  user {i}: ({pos[0]:5.2f}, {pos[1]:5.2f})  stretch {s:.2f}")
+    flux = simulate_flux(network, list(truth), list(stretches), rng=rng)
+
+    # ------------------------------------------------------------------
+    print("\n[1] Briefing with the FULL flux map (sniff all 900 nodes):")
+    briefing = brief_flux_map(network, flux, max_users=user_count)
+    errors, _ = assignment_errors(briefing.positions, truth)
+    for i, (pos, err) in enumerate(zip(briefing.positions, errors)):
+        print(
+            f"  detected ({pos[0]:5.2f}, {pos[1]:5.2f})  error {err:.2f}  "
+            f"theta {briefing.users[i].theta:.2f}"
+        )
+    print(f"  mean error: {errors.mean():.2f}")
+
+    # ------------------------------------------------------------------
+    print("\n[2] NLS fingerprinting with SPARSE sampling (10% of nodes):")
+    sniffers = sample_sniffers_percentage(network, 10.0, rng=rng)
+    observation = MeasurementModel(network, sniffers, smooth=True, rng=rng).observe(
+        flux
+    )
+    localizer = NLSLocalizer(network.field, network.positions[sniffers])
+    result = localizer.localize(
+        observation, user_count=user_count, candidate_count=4000, rng=rng
+    )
+    estimates = result.position_estimates()
+    errors = result.errors_to(truth)
+    for i, (pos, err) in enumerate(zip(estimates, errors)):
+        print(f"  estimated ({pos[0]:5.2f}, {pos[1]:5.2f})  error {err:.2f}")
+    print(f"  mean error: {errors.mean():.2f}")
+    print(
+        f"\nSparse sampling used {sniffers.size}/{network.node_count} nodes "
+        "yet recovered all users — the paper's headline result."
+    )
+
+    # ------------------------------------------------------------------
+    print("\n[3] Conservative K: fitting 5 slots for 3 users...")
+    result5 = localizer.localize(
+        observation, user_count=5, candidate_count=3000, rng=rng
+    )
+    kernels = localizer.model.geometry_kernels(result5.best.positions)
+    mask, _, _ = forward_select_active(
+        localizer.objective_for(observation), kernels
+    )
+    print(
+        f"  slots surviving the s/r -> 0 activity test: {int(mask.sum())} "
+        f"(paper: surplus users fit s/r -> 0)"
+    )
+
+
+if __name__ == "__main__":
+    main()

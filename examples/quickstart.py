@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: locate a mobile user by passively sniffing 10% of a WSN.
+
+Reproduces the paper's core claim end to end:
+
+1. deploy a 900-node sensor network on a 30x30 field (paper defaults);
+2. let a mobile user collect data over a network-wide collection tree;
+3. sniff the per-node traffic *amount* at a random 10% of the sensors
+   (no packet contents!);
+4. fit the flux model by NLS and recover the user's position.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    MeasurementModel,
+    NLSLocalizer,
+    build_network,
+    sample_sniffers_percentage,
+    simulate_flux,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2010)
+
+    print("Deploying 900 sensors (perturbed grid, 30x30 field, radius 2.4)...")
+    network = build_network(rng=rng)
+    print(
+        f"  nodes={network.node_count}  avg degree={network.average_degree():.1f}"
+        f"  avg hop distance={network.average_hop_distance():.2f}"
+    )
+
+    true_position = network.field.sample_uniform(1, rng)
+    stretch = float(rng.uniform(1.0, 3.0))
+    print(
+        f"\nMobile user collects data at ({true_position[0, 0]:.2f}, "
+        f"{true_position[0, 1]:.2f}) with traffic stretch {stretch:.2f}"
+    )
+    flux = simulate_flux(network, list(true_position), [stretch], rng=rng)
+
+    sniffers = sample_sniffers_percentage(network, 10.0, rng=rng)
+    print(f"\nAdversary sniffs flux at {sniffers.size} nodes (10%)...")
+    observation = MeasurementModel(network, sniffers, smooth=True, rng=rng).observe(
+        flux
+    )
+
+    localizer = NLSLocalizer(network.field, network.positions[sniffers])
+    result = localizer.localize(
+        observation, user_count=1, candidate_count=5000, rng=rng
+    )
+    estimate = result.position_estimates()[0]
+    error = float(result.errors_to(true_position)[0])
+
+    print(f"Estimated position: ({estimate[0]:.2f}, {estimate[1]:.2f})")
+    print(
+        f"Localization error: {error:.2f} "
+        f"({error / network.field.diameter:.1%} of the field diameter)"
+    )
+    print(f"Fitted stretch factor s/r: {result.best.thetas[0]:.2f}")
+    print(
+        "\nNo packets were opened: the position leaked purely through "
+        "per-node traffic volume."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Trace-driven tracking of asynchronous campus users (Fig. 10).
+
+Generates a synthetic Dartmouth-style syslog data set (the real trace
+is not redistributable; see repro.traces), intercepts and compresses
+each selected card's record 100x, maps it onto the 30x30 sensor
+field, and tracks the users while they collect data asynchronously at
+their own association instants.
+
+Run:  python examples/trace_driven_attack.py
+"""
+
+import numpy as np
+
+from repro import build_network, build_synthetic_dataset
+from repro.experiments.config import PaperDefaults
+from repro.experiments.trace_driven import _run_trace_tracking
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    defaults = PaperDefaults().scaled(2)
+
+    print("Generating synthetic campus traces (substituting Dartmouth v1.3)...")
+    dataset = build_synthetic_dataset(user_count=30, rng=rng)
+    print(
+        f"  {len(dataset.associations)} cards, {len(dataset.aps)} landmark "
+        f"APs in a {dataset.region[2] - dataset.region[0]:.0f} x "
+        f"{dataset.region[3] - dataset.region[1]:.0f} campus region"
+    )
+
+    for deployment in ("perturbed_grid", "uniform_random"):
+        network = build_network(
+            node_count=defaults.node_count,
+            radius=defaults.radius,
+            deployment=deployment,
+            rng=rng,
+        )
+        error = _run_trace_tracking(
+            network,
+            dataset,
+            user_count=6,
+            sniffer_percentage=10.0,
+            resampling_radius=8.0,
+            defaults=defaults,
+            gen=np.random.default_rng(99),
+        )
+        print(
+            f"\n{deployment}: mean tracking error {error:.2f} "
+            f"({error / network.field.diameter:.1%} of field diameter)"
+        )
+    print(
+        "\nAsynchronous collections keep per-window user counts low, "
+        "which is why 20 coexisting users stay trackable (paper V.C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Track two moving users — including a trajectory crossing (Fig. 7).
+
+Two mobile users walk across the field while collecting data each
+round; the Sequential Monte Carlo tracker follows them from flux
+observations at 10% of the nodes. The crossing scenario demonstrates
+the identity-mixing phenomenon of Fig. 7(d): locations stay accurate,
+labels may swap.
+
+Run:  python examples/tracking_attack.py
+"""
+
+import numpy as np
+
+from repro import (
+    MeasurementModel,
+    SequentialMonteCarloTracker,
+    TrackerConfig,
+    build_network,
+    sample_sniffers_percentage,
+    synchronous_schedule,
+)
+from repro.mobility import crossing_trajectories
+from repro.smc.association import assignment_errors, identity_consistency
+from repro.traffic import FluxSimulator
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    network = build_network(rng=rng)
+    rounds = 12
+
+    traj_a, traj_b = crossing_trajectories(network.field, rounds)
+    print("Two users on crossing diagonals, meeting mid-field.\n")
+
+    stretches = [2.0, 1.5]
+    schedule = synchronous_schedule(
+        [traj_a.positions, traj_b.positions], stretches
+    )
+    simulator = FluxSimulator(network, rng=rng)
+    sniffers = sample_sniffers_percentage(network, 10.0, rng=rng)
+    measure = MeasurementModel(network, sniffers, smooth=True, rng=rng)
+    tracker = SequentialMonteCarloTracker(
+        network.field,
+        network.positions[sniffers],
+        user_count=2,
+        config=TrackerConfig(prediction_count=1000, keep_count=10, max_speed=5.0),
+        rng=rng,
+    )
+
+    print(f"{'round':>5} {'user A err':>10} {'user B err':>10}  labels")
+    permutations = []
+    for round_idx, (t, events) in enumerate(schedule.windows(1.0)):
+        flux = simulator.window_flux(events).total
+        step = tracker.step(measure.observe(flux, time=t))
+        truth = np.stack(
+            [traj_a.positions[round_idx], traj_b.positions[round_idx]]
+        )
+        errors, perm = assignment_errors(step.estimates, truth)
+        permutations.append(perm)
+        labels = "A<->A B<->B" if perm[0] == 0 else "A<->B SWAPPED"
+        print(
+            f"{round_idx:>5} {errors[0]:>10.2f} {errors[1]:>10.2f}  {labels}"
+        )
+
+    consistency = identity_consistency(permutations)
+    print(f"\nIdentity consistency across rounds: {consistency:.0%}")
+    print(
+        "Locations remain accurate through the crossing even when the "
+        "identities mix — exactly the paper's Fig. 7(d) observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

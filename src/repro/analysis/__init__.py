@@ -1,0 +1,16 @@
+"""Privacy quantification on top of the attack primitives.
+
+The paper argues "most of existing systems are vulnerable in
+protecting the privacy of mobile users" — this package turns attack
+error distributions into privacy statements a system designer can act
+on: the probability a user is pinned within a radius, the effective
+anonymity area, and per-user exposure over a tracking session.
+"""
+
+from repro.analysis.privacy import (
+    PrivacyReport,
+    exposure_timeline,
+    localization_privacy,
+)
+
+__all__ = ["PrivacyReport", "localization_privacy", "exposure_timeline"]

@@ -1,0 +1,151 @@
+"""Privacy metrics derived from attack error samples.
+
+Definitions
+-----------
+*Pinning probability* ``P(r)``: fraction of attack runs whose
+localization error is at most ``r`` — how often the adversary places
+the user inside a disc of radius ``r``.
+
+*Effective anonymity area*: ``pi * Q(q)^2`` where ``Q(q)`` is the
+``q``-quantile of the error distribution — the disc the adversary
+confines the user to with confidence ``q``, the spatial analogue of an
+anonymity-set size.
+
+*Privacy loss*: ``1 - anonymity_area / field_area`` — 0 means the
+attack reveals nothing beyond "somewhere in the field"; values near 1
+mean near-exact disclosure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.field import Field
+from repro.util.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class PrivacyReport:
+    """Privacy statement for one attack configuration.
+
+    Attributes
+    ----------
+    error_samples:
+        The underlying localization errors.
+    pinning:
+        ``{radius: P(error <= radius)}`` for the requested radii.
+    anonymity_radius:
+        ``q``-quantile of the error (default q = 0.9).
+    anonymity_area:
+        Disc area of the anonymity radius.
+    privacy_loss:
+        ``1 - anonymity_area / field_area``, clipped to [0, 1].
+    """
+
+    error_samples: np.ndarray
+    pinning: Dict[float, float]
+    anonymity_radius: float
+    anonymity_area: float
+    privacy_loss: float
+
+    def summary(self) -> str:
+        pin = "  ".join(
+            f"P(err<={r:g})={p:.0%}" for r, p in sorted(self.pinning.items())
+        )
+        return (
+            f"{pin}  anonymity radius={self.anonymity_radius:.2f} "
+            f"privacy loss={self.privacy_loss:.0%}"
+        )
+
+
+def localization_privacy(
+    errors: np.ndarray,
+    field: Field,
+    radii: Sequence[float] = (1.0, 2.0, 5.0),
+    confidence: float = 0.9,
+) -> PrivacyReport:
+    """Build a :class:`PrivacyReport` from localization error samples."""
+    errors = np.asarray(errors, dtype=float).ravel()
+    if errors.size == 0:
+        raise ConfigurationError("need at least one error sample")
+    if np.any(errors < 0) or not np.all(np.isfinite(errors)):
+        raise ConfigurationError("errors must be finite and non-negative")
+    check_in_range("confidence", confidence, 0.0, 1.0, inclusive=(False, False))
+    if not radii:
+        raise ConfigurationError("need at least one pinning radius")
+    pinning = {}
+    for r in radii:
+        check_positive("radius", r)
+        pinning[float(r)] = float(np.mean(errors <= r))
+    radius_q = float(np.quantile(errors, confidence))
+    area = float(np.pi * radius_q**2)
+    loss = float(np.clip(1.0 - area / field.area, 0.0, 1.0))
+    return PrivacyReport(
+        error_samples=errors,
+        pinning=pinning,
+        anonymity_radius=radius_q,
+        anonymity_area=area,
+        privacy_loss=loss,
+    )
+
+
+def exposure_timeline(
+    tracking_errors: np.ndarray,
+    exposure_radius: float = 3.0,
+    burn_in: int = 0,
+) -> Dict[str, float]:
+    """Per-session exposure statistics from a tracking error matrix.
+
+    Parameters
+    ----------
+    tracking_errors:
+        ``(rounds, users)`` per-round assignment errors (e.g. from
+        :func:`repro.smc.association.tracking_errors_over_time`).
+    exposure_radius:
+        A user counts as *exposed* in a round when their error is at
+        most this radius.
+    burn_in:
+        Rounds excluded from the statistics (tracker warm-up).
+
+    Returns
+    -------
+    dict with ``exposed_fraction`` (user-rounds exposed),
+    ``mean_exposed_streak`` (average consecutive-exposure length) and
+    ``fully_exposed_users`` (fraction of users exposed in >=80% of
+    their rounds).
+    """
+    errors = np.asarray(tracking_errors, dtype=float)
+    if errors.ndim != 2 or errors.size == 0:
+        raise ConfigurationError(
+            f"tracking_errors must be a non-empty (rounds, users) matrix, "
+            f"got shape {errors.shape}"
+        )
+    check_positive("exposure_radius", exposure_radius)
+    if burn_in < 0 or burn_in >= errors.shape[0]:
+        raise ConfigurationError(
+            f"burn_in must be in [0, rounds), got {burn_in}"
+        )
+    window = errors[burn_in:]
+    exposed = window <= exposure_radius
+
+    streaks: List[int] = []
+    for user in range(exposed.shape[1]):
+        run = 0
+        for flag in exposed[:, user]:
+            if flag:
+                run += 1
+            elif run:
+                streaks.append(run)
+                run = 0
+        if run:
+            streaks.append(run)
+    per_user = exposed.mean(axis=0)
+    return {
+        "exposed_fraction": float(exposed.mean()),
+        "mean_exposed_streak": float(np.mean(streaks)) if streaks else 0.0,
+        "fully_exposed_users": float(np.mean(per_user >= 0.8)),
+    }

@@ -1,0 +1,25 @@
+"""Baseline localizers/trackers the paper compares against or builds on.
+
+* :class:`PeakLocalizer` — full-flux-map peak detection (the
+  Section III.C starting point, needs sniffing *every* node).
+* :func:`centroid_localize` — flux-weighted centroid (naive).
+* :class:`EKFTracker` — constant-velocity (extended) Kalman filter over
+  NLS point fixes, the classical remote-tracking approach the related
+  work ([9, 23]) uses.
+* :func:`refine_smooth_field` — gradient-based local NLS refinement via
+  scipy ``least_squares``; valid only on smooth (circular) boundaries,
+  demonstrating why the paper's rectangular field forces sampling
+  search.
+"""
+
+from repro.baselines.peak import PeakLocalizer
+from repro.baselines.centroid import centroid_localize
+from repro.baselines.ekf import EKFTracker
+from repro.baselines.smooth_refine import refine_smooth_field
+
+__all__ = [
+    "PeakLocalizer",
+    "centroid_localize",
+    "EKFTracker",
+    "refine_smooth_field",
+]

@@ -1,0 +1,35 @@
+"""Flux-weighted centroid localization (naive single-user baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def centroid_localize(
+    positions: np.ndarray, flux: np.ndarray, power: float = 2.0
+) -> np.ndarray:
+    """Estimate a single user position as the flux-weighted centroid.
+
+    ``power`` sharpens the weighting (``flux ** power``); the flux
+    peaks at the sink, so a sharpened centroid is a cheap
+    single-user estimator — but it is badly biased toward the field
+    center for boundary sinks and breaks completely for multiple
+    users, which is exactly the motivation for model fitting.
+    """
+    positions = np.asarray(positions, dtype=float)
+    flux = np.asarray(flux, dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ConfigurationError(f"positions must be (n, 2), got {positions.shape}")
+    if flux.shape != (positions.shape[0],):
+        raise ConfigurationError(
+            f"flux must have shape ({positions.shape[0]},), got {flux.shape}"
+        )
+    if power < 0:
+        raise ConfigurationError(f"power must be >= 0, got {power}")
+    weights = np.maximum(flux, 0.0) ** power
+    total = float(weights.sum())
+    if total <= 0:
+        raise ConfigurationError("flux is all zero; no centroid")
+    return (weights[:, None] * positions).sum(axis=0) / total

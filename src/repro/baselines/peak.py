@@ -1,0 +1,49 @@
+"""Full-map peak-detection localization.
+
+Requires the flux at *every* node (the expensive full-information
+regime); positions are the recursive-briefing peaks. This is both the
+paper's Section III.C method and the natural baseline against which
+the sparse NLS approach's cheapness is measured.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fingerprint.briefing import brief_flux_map
+from repro.network.topology import Network
+
+
+class PeakLocalizer:
+    """Localize users from a complete flux map via recursive briefing."""
+
+    def __init__(self, network: Network, smooth: bool = True):
+        self.network = network
+        self.smooth = smooth
+
+    def localize(
+        self, flux_map: np.ndarray, user_count: int, stop_fraction: float = 0.05
+    ) -> np.ndarray:
+        """Return up to ``(user_count, 2)`` estimated positions.
+
+        If briefing stops early (residual below threshold), the last
+        detected position is repeated to keep the output shape —
+        callers compare against ground truth by assignment, so
+        repeats simply score as misses.
+        """
+        if user_count < 1:
+            raise ConfigurationError(f"user_count must be >= 1, got {user_count}")
+        result = brief_flux_map(
+            self.network,
+            flux_map,
+            max_users=user_count,
+            smooth=self.smooth,
+            stop_fraction=stop_fraction,
+        )
+        positions = result.positions
+        while positions.shape[0] < user_count:
+            positions = np.vstack([positions, positions[-1]])
+        return positions

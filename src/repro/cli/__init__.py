@@ -1,0 +1,15 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``    deploy a network, place users, dump the flux map
+``localize``    run the sparse-sampling NLS attack on fresh flux
+``track``       run the SMC tracker over a synchronous scenario
+``traces``      generate / inspect synthetic campus traces
+``experiment``  run one paper-figure experiment and print its table
+``defend``      evaluate the traffic-reshaping countermeasures
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["main", "build_parser"]

@@ -1,0 +1,250 @@
+"""Implementations of the ``repro`` CLI commands.
+
+Each handler takes the parsed argparse namespace and returns a process
+exit code. Output is plain text on stdout so the commands compose with
+shell pipelines; ``--output FILE`` writes machine-readable artifacts.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry import RectangularField
+from repro.network import (
+    build_network,
+    sample_sniffers_percentage,
+)
+from repro.traffic import MeasurementModel, simulate_flux
+from repro.util.rng import as_generator
+
+
+def _network_from(args):
+    field = RectangularField(args.field, args.field)
+    return build_network(
+        field=field,
+        node_count=args.nodes,
+        radius=args.radius,
+        deployment=args.deployment,
+        rng=as_generator(args.seed),
+    )
+
+
+def _place_users(net, count, gen):
+    truth = net.field.sample_uniform(count, gen)
+    stretches = gen.uniform(1.0, 3.0, count)
+    return truth, stretches
+
+
+def cmd_simulate(args) -> int:
+    gen = as_generator(args.seed)
+    net = _network_from(args)
+    truth, stretches = _place_users(net, args.users, gen)
+    flux = simulate_flux(net, list(truth), list(stretches), rng=gen)
+
+    print(
+        f"network: {net.node_count} nodes, degree {net.average_degree():.1f}, "
+        f"hop distance {net.average_hop_distance():.2f}"
+    )
+    for i, (pos, s) in enumerate(zip(truth, stretches)):
+        print(f"user {i}: position ({pos[0]:.2f}, {pos[1]:.2f}) stretch {s:.2f}")
+    print(
+        f"flux: total {flux.sum():.0f}, max {flux.max():.0f} at node "
+        f"{int(np.argmax(flux))}"
+    )
+    if args.output != "-":
+        lines = ["node,x,y,flux"]
+        for i in range(net.node_count):
+            lines.append(
+                f"{i},{net.positions[i, 0]:.4f},{net.positions[i, 1]:.4f},"
+                f"{flux[i]:.4f}"
+            )
+        Path(args.output).write_text("\n".join(lines) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_localize(args) -> int:
+    from repro.fingerprint import NLSLocalizer
+
+    gen = as_generator(args.seed)
+    net = _network_from(args)
+    truth, stretches = _place_users(net, args.users, gen)
+    flux = simulate_flux(net, list(truth), list(stretches), rng=gen)
+    sniffers = sample_sniffers_percentage(net, args.percentage, rng=gen)
+    obs = MeasurementModel(net, sniffers, smooth=True, rng=gen).observe(flux)
+
+    localizer = NLSLocalizer(net.field, net.positions[sniffers])
+    result = localizer.localize(
+        obs,
+        user_count=args.users,
+        candidate_count=args.candidates,
+        restarts=args.restarts,
+        rng=gen,
+    )
+    estimates = result.position_estimates()
+    errors = result.errors_to(truth)
+    print(
+        f"sniffed {sniffers.size}/{net.node_count} nodes "
+        f"({args.percentage:g}%); objective {result.best.objective:.2f}"
+    )
+    for i in range(args.users):
+        print(
+            f"user {i}: true ({truth[i, 0]:6.2f}, {truth[i, 1]:6.2f})  "
+            f"estimated ({estimates[i, 0]:6.2f}, {estimates[i, 1]:6.2f})  "
+            f"error {errors[i]:.2f}"
+        )
+    print(
+        f"mean error {errors.mean():.2f} "
+        f"({errors.mean() / net.field.diameter:.1%} of field diameter)"
+    )
+    return 0
+
+
+def cmd_track(args) -> int:
+    from repro.mobility import crossing_trajectories, random_waypoint_trajectory
+    from repro.smc import SequentialMonteCarloTracker, TrackerConfig
+    from repro.smc.association import assignment_errors
+    from repro.traffic import FluxSimulator, synchronous_schedule
+
+    gen = as_generator(args.seed)
+    net = _network_from(args)
+    if args.crossing:
+        a, b = crossing_trajectories(net.field, args.rounds)
+        trajectories = [a, b]
+        user_count = 2
+    else:
+        user_count = args.users
+        trajectories = [
+            random_waypoint_trajectory(
+                net.field,
+                rounds=args.rounds,
+                speed=float(gen.uniform(args.max_speed * 0.4, args.max_speed * 0.9)),
+                rng=gen,
+            )
+            for _ in range(user_count)
+        ]
+    stretches = list(gen.uniform(1.0, 3.0, user_count))
+    schedule = synchronous_schedule(
+        [t.positions for t in trajectories], stretches
+    )
+    sim = FluxSimulator(net, rng=gen)
+    sniffers = sample_sniffers_percentage(net, args.percentage, rng=gen)
+    measure = MeasurementModel(net, sniffers, smooth=True, rng=gen)
+    tracker = SequentialMonteCarloTracker(
+        net.field,
+        net.positions[sniffers],
+        user_count=user_count,
+        config=TrackerConfig(
+            prediction_count=args.predictions,
+            keep_count=args.keep,
+            max_speed=args.max_speed,
+        ),
+        rng=gen,
+    )
+
+    print(f"{'round':>5}  mean error")
+    finals = None
+    for k, (t, events) in enumerate(schedule.windows(1.0)):
+        flux = sim.window_flux(events).total
+        step = tracker.step(measure.observe(flux, time=t))
+        truth = np.stack([tr.positions[k] for tr in trajectories])
+        errors, _ = assignment_errors(step.estimates, truth)
+        finals = errors
+        print(f"{k:>5}  {errors.mean():10.2f}")
+    print(f"final mean error {finals.mean():.2f}")
+    return 0
+
+
+def cmd_traces(args) -> int:
+    from repro.traces import (
+        generate_campus_aps,
+        generate_syslog_records,
+        parse_syslog_records,
+        select_rectangular_region,
+    )
+
+    gen = as_generator(args.seed)
+    aps = generate_campus_aps(count=args.aps, rng=gen)
+    landmarks, region = select_rectangular_region(
+        aps, target_count=args.landmarks
+    )
+    lines = generate_syslog_records(aps, user_count=args.users, rng=gen)
+    parsed = parse_syslog_records(lines)
+
+    print(
+        f"{args.aps} APs generated; {len(landmarks)} landmarks in a "
+        f"{region[2] - region[0]:.0f} x {region[3] - region[1]:.0f} region"
+    )
+    print(f"{len(lines)} syslog records across {len(parsed)} cards")
+    counts = sorted(len(seq) for seq in parsed.values())
+    print(
+        f"associations per card: min {counts[0]}, median "
+        f"{counts[len(counts) // 2]}, max {counts[-1]}"
+    )
+    if args.output != "-":
+        Path(args.output).write_text("\n".join(lines) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments import PaperDefaults
+    from repro.experiments import ablations
+    from repro.experiments.reporting import build_experiment_plan
+
+    defaults = PaperDefaults().scaled(args.scale)
+    seed = args.seed if args.seed is not None else 20100621
+    plan = dict(
+        (name.replace("Fig ", "").lower(), runner)
+        for name, runner in build_experiment_plan(defaults, seed)
+    )
+    reps = max(2, 12 // args.scale)
+    plan.update(
+        {
+            "ablation-d-floor": lambda: ablations.run_ablation_d_floor(
+                repetitions=reps, rng=seed
+            ),
+            "ablation-smoothing": lambda: ablations.run_ablation_smoothing(
+                repetitions=reps, rng=seed
+            ),
+            "ablation-weighting": lambda: ablations.run_ablation_weighting(
+                repetitions=reps, rng=seed
+            ),
+            "ablation-routing": lambda: ablations.run_ablation_routing(
+                repetitions=reps, rng=seed
+            ),
+            "ablation-aggregation": lambda: ablations.run_ablation_aggregation(
+                repetitions=reps, rng=seed
+            ),
+            "ablation-kernel": lambda: ablations.run_ablation_kernel(
+                repetitions=reps, rng=seed
+            ),
+            "robustness-holes": lambda: ablations.run_robustness_holes(
+                repetitions=reps, rng=seed
+            ),
+        }
+    )
+    runner = plan[args.figure]
+    result = runner()
+    print(result.render())
+    return 0
+
+
+def cmd_defend(args) -> int:
+    from repro.countermeasures import defense_tradeoff
+
+    gen = as_generator(args.seed)
+    net = _network_from(args)
+    points = defense_tradeoff(
+        net, user_count=args.users, repetitions=args.repetitions, rng=gen
+    )
+    print(f"{'defense':<12} {'param':>6} {'attack err':>10} {'overhead':>9}")
+    for p in points:
+        print(
+            f"{p.defense:<12} {p.parameter:>6.2f} {p.attack_error:>10.2f} "
+            f"{p.overhead:>8.0%}"
+        )
+    return 0

@@ -1,0 +1,121 @@
+"""Argument parsing and dispatch for the ``repro`` CLI."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cli import commands
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Flux-fingerprinting attack toolkit (ICDCS 2010 reproduction): "
+            "simulate sensor-network traffic, localize and track mobile "
+            "users from passively sniffed flux, evaluate defenses."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="global RNG seed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "simulate", help="deploy a network and dump a multi-user flux map"
+    )
+    _network_args(p)
+    p.add_argument("--users", type=int, default=2, help="number of mobile users")
+    p.add_argument(
+        "--output", default="-", help="write flux CSV here ('-' = stdout summary)"
+    )
+    p.set_defaults(handler=commands.cmd_simulate)
+
+    p = sub.add_parser(
+        "localize", help="run the sparse-sampling NLS localization attack"
+    )
+    _network_args(p)
+    p.add_argument("--users", type=int, default=2)
+    p.add_argument(
+        "--percentage", type=float, default=10.0, help="%% of nodes sniffed"
+    )
+    p.add_argument("--candidates", type=int, default=3000)
+    p.add_argument("--restarts", type=int, default=3)
+    p.set_defaults(handler=commands.cmd_localize)
+
+    p = sub.add_parser("track", help="run the SMC tracker over moving users")
+    _network_args(p)
+    p.add_argument("--users", type=int, default=2)
+    p.add_argument("--rounds", type=int, default=10)
+    p.add_argument("--percentage", type=float, default=10.0)
+    p.add_argument("--predictions", type=int, default=500, help="SMC N")
+    p.add_argument("--keep", type=int, default=10, help="SMC M")
+    p.add_argument("--max-speed", type=float, default=5.0)
+    p.add_argument(
+        "--crossing",
+        action="store_true",
+        help="use the crossing-trajectories stress case (forces 2 users)",
+    )
+    p.set_defaults(handler=commands.cmd_track)
+
+    p = sub.add_parser(
+        "traces", help="generate / inspect synthetic campus traces"
+    )
+    p.add_argument("--users", type=int, default=20)
+    p.add_argument("--aps", type=int, default=500)
+    p.add_argument("--landmarks", type=int, default=50)
+    p.add_argument(
+        "--output", default="-", help="write syslog lines here ('-' = summary)"
+    )
+    p.set_defaults(handler=commands.cmd_traces)
+
+    p = sub.add_parser(
+        "experiment", help="run one paper-figure experiment runner"
+    )
+    p.add_argument(
+        "figure",
+        choices=[
+            "3a", "3b", "4", "5", "6a", "6b", "7", "8a", "8b", "9",
+            "10a", "10b",
+            "ablation-d-floor", "ablation-smoothing", "ablation-weighting",
+            "ablation-routing", "ablation-aggregation", "ablation-kernel",
+            "robustness-holes",
+        ],
+        help="paper figure id or ablation/robustness study id",
+    )
+    p.add_argument(
+        "--scale",
+        type=int,
+        default=4,
+        help="budget divisor vs paper scale (1 = full paper budgets)",
+    )
+    p.set_defaults(handler=commands.cmd_experiment)
+
+    p = sub.add_parser(
+        "defend", help="evaluate padding / dummy-sink countermeasures"
+    )
+    _network_args(p)
+    p.add_argument("--users", type=int, default=2)
+    p.add_argument("--repetitions", type=int, default=3)
+    p.set_defaults(handler=commands.cmd_defend)
+
+    return parser
+
+
+def _network_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--nodes", type=int, default=900, help="sensor count")
+    p.add_argument("--field", type=float, default=30.0, help="field side length")
+    p.add_argument("--radius", type=float, default=2.4, help="radio radius")
+    p.add_argument(
+        "--deployment",
+        choices=["perturbed_grid", "uniform_random"],
+        default="perturbed_grid",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.handler(args))

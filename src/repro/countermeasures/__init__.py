@@ -1,0 +1,28 @@
+"""Future-work extension (paper Section VI): traffic-reshaping defenses.
+
+The paper's conclusion calls for "reshaping the network traffics to
+prevent malicious detection". This package implements three defenses
+and quantifies the privacy/overhead trade-off they buy:
+
+* uniform padding — every node pads its transmissions toward a common
+  level, flattening the flux fingerprint;
+* dummy sinks — the network injects collection trees rooted at decoy
+  positions, confusing the user-count and position fits;
+* proxy rerouting — trees root at a random proxy sensor and the
+  aggregate is relayed to the user, so the flux fit localizes the
+  proxy instead of the user.
+"""
+
+from repro.countermeasures.padding import apply_uniform_padding, padding_overhead
+from repro.countermeasures.dummy import inject_dummy_sinks
+from repro.countermeasures.proxy import proxy_collection_flux, proxy_defense_overhead
+from repro.countermeasures.evaluation import defense_tradeoff
+
+__all__ = [
+    "apply_uniform_padding",
+    "padding_overhead",
+    "inject_dummy_sinks",
+    "proxy_collection_flux",
+    "proxy_defense_overhead",
+    "defense_tradeoff",
+]

@@ -1,0 +1,104 @@
+"""Privacy/overhead trade-off evaluation for the defenses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.countermeasures.dummy import inject_dummy_sinks
+from repro.countermeasures.padding import apply_uniform_padding, padding_overhead
+from repro.errors import ConfigurationError
+from repro.fingerprint.nls import NLSLocalizer
+from repro.network.sampling import sample_sniffers_percentage
+from repro.network.topology import Network
+from repro.traffic.flux import simulate_flux
+from repro.traffic.measurement import MeasurementModel
+from repro.util.rng import RandomState, as_generator, spawn_generators
+
+
+@dataclass
+class DefensePoint:
+    """One configuration of a defense and the attack error it induces."""
+
+    defense: str
+    parameter: float
+    attack_error: float
+    overhead: float
+
+
+def defense_tradeoff(
+    network: Network,
+    user_count: int = 2,
+    padding_levels: Sequence[float] = (0.0, 0.25, 0.5, 0.75),
+    dummy_counts: Sequence[int] = (1, 2, 4),
+    sniffer_percentage: float = 10.0,
+    repetitions: int = 3,
+    candidate_count: int = 1500,
+    rng: RandomState = None,
+) -> List[DefensePoint]:
+    """Measure attack localization error vs defense strength.
+
+    For each padding level / dummy count, run the NLS attack
+    ``repetitions`` times against defended flux and report the mean
+    per-user localization error plus the defense's traffic overhead.
+    The ``parameter = 0`` padding point doubles as the undefended
+    reference.
+    """
+    if repetitions < 1:
+        raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
+    gens = spawn_generators(rng, repetitions)
+    points: List[DefensePoint] = []
+
+    def run_attack(
+        flux: np.ndarray, truth: np.ndarray, gen: np.random.Generator
+    ) -> float:
+        sniffers = sample_sniffers_percentage(network, sniffer_percentage, rng=gen)
+        obs = MeasurementModel(network, sniffers, smooth=True, rng=gen).observe(flux)
+        loc = NLSLocalizer(network.field, network.positions[sniffers])
+        res = loc.localize(
+            obs,
+            user_count=user_count,
+            candidate_count=candidate_count,
+            restarts=2,
+            rng=gen,
+        )
+        return float(res.errors_to(truth).mean())
+
+    for level in padding_levels:
+        errors, overheads = [], []
+        for gen in gens:
+            truth = network.field.sample_uniform(user_count, gen)
+            stretches = gen.uniform(1.0, 3.0, user_count)
+            flux = simulate_flux(network, list(truth), list(stretches), rng=gen)
+            defended = apply_uniform_padding(flux, level)
+            errors.append(run_attack(defended, truth, gen))
+            overheads.append(padding_overhead(flux, level) if level > 0 else 0.0)
+        points.append(
+            DefensePoint(
+                defense="padding",
+                parameter=float(level),
+                attack_error=float(np.mean(errors)),
+                overhead=float(np.mean(overheads)),
+            )
+        )
+
+    for count in dummy_counts:
+        errors, overheads = [], []
+        for gen in gens:
+            truth = network.field.sample_uniform(user_count, gen)
+            stretches = gen.uniform(1.0, 3.0, user_count)
+            flux = simulate_flux(network, list(truth), list(stretches), rng=gen)
+            defended, _ = inject_dummy_sinks(network, flux, count, rng=gen)
+            errors.append(run_attack(defended, truth, gen))
+            overheads.append(float(defended.sum() - flux.sum()) / float(flux.sum()))
+        points.append(
+            DefensePoint(
+                defense="dummy_sinks",
+                parameter=float(count),
+                attack_error=float(np.mean(errors)),
+                overhead=float(np.mean(overheads)),
+            )
+        )
+    return points

@@ -1,0 +1,68 @@
+"""Proxy-rerouting defense.
+
+Instead of rooting the collection tree at the user's own position —
+which is exactly what leaks it — the network roots the tree at a
+random *proxy* sensor and forwards the aggregate to the user over a
+single multi-hop path. The adversary's flux fit then localizes the
+proxy, not the user; the cost is the extra relay traffic along the
+proxy -> user path and added latency.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.topology import Network
+from repro.routing.spt import build_collection_tree
+from repro.util.rng import RandomState, as_generator
+
+
+def proxy_collection_flux(
+    network: Network,
+    user_position: np.ndarray,
+    stretch: float,
+    rng: RandomState = None,
+    proxy: int = None,
+) -> Tuple[np.ndarray, int]:
+    """Flux map for one collection routed through a random proxy.
+
+    Returns ``(flux, proxy_index)``. The tree roots at the proxy; the
+    collected aggregate (the full network's data) is then relayed hop
+    by hop from the proxy to the user's attach node, adding the
+    aggregate volume to every node on that path.
+    """
+    if not np.isfinite(stretch) or stretch <= 0:
+        raise ConfigurationError(f"stretch must be positive, got {stretch}")
+    gen = as_generator(rng)
+    if proxy is None:
+        proxy = int(gen.integers(network.node_count))
+    elif not 0 <= proxy < network.node_count:
+        raise ConfigurationError(f"proxy {proxy} out of range")
+
+    tree = build_collection_tree(network, None, root=proxy, rng=gen)
+    weights = np.full(network.node_count, float(stretch))
+    flux = tree.subtree_aggregate(weights)
+
+    # Deliver the aggregate from the proxy to the user's attach node.
+    attach = network.nearest_node(np.asarray(user_position, dtype=float))
+    delivery_tree = build_collection_tree(network, None, root=attach, rng=gen)
+    total_volume = float(flux[proxy])
+    if delivery_tree.hops[proxy] >= 0:
+        path = delivery_tree.path_to_root(proxy)
+        flux[path] += total_volume
+        # The proxy itself already carries the aggregate once.
+        flux[proxy] -= total_volume
+    return flux, proxy
+
+
+def proxy_defense_overhead(
+    network: Network, flux_with_proxy: np.ndarray, flux_direct: np.ndarray
+) -> float:
+    """Relative extra traffic of the proxy route vs direct collection."""
+    direct = float(np.asarray(flux_direct, dtype=float).sum())
+    if direct <= 0:
+        raise ConfigurationError("direct flux is all zero; overhead undefined")
+    return float(np.asarray(flux_with_proxy, dtype=float).sum() - direct) / direct

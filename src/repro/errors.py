@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch any library failure with a single ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or invoked with invalid parameters."""
+
+
+class GeometryError(ReproError):
+    """A geometric query was made with inconsistent inputs.
+
+    Examples: ray-casting from a point outside the field boundary, or
+    building a polygon field with fewer than three vertices.
+    """
+
+
+class DeploymentError(ReproError):
+    """Node deployment could not satisfy the requested constraints."""
+
+
+class ConnectivityError(ReproError):
+    """An operation required a connected network but the graph was not.
+
+    Raised e.g. when building a data-collection tree over a network with
+    unreachable nodes and ``require_connected=True``.
+    """
+
+
+class FittingError(ReproError):
+    """The NLS fitting process failed to produce a usable estimate."""
+
+
+class TrackingError(ReproError):
+    """The Sequential Monte Carlo tracker entered an unrecoverable state."""
+
+
+class TraceError(ReproError):
+    """A mobility trace could not be generated or parsed."""

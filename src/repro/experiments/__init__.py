@@ -1,0 +1,38 @@
+"""Per-figure experiment runners (paper Section V).
+
+Each ``run_figN*`` function regenerates one figure's data series at
+configurable scale and returns a structured result whose ``rows()``
+render the same quantities the paper plots. The benchmarks in
+``benchmarks/`` call these with reduced repetition counts; pass
+``paper_scale=True`` (where offered) for the full-size runs.
+"""
+
+from repro.experiments.config import PaperDefaults
+from repro.experiments.harness import ExperimentResult, format_table
+from repro.experiments.model_accuracy import run_fig3a, run_fig3b
+from repro.experiments.briefing_demo import run_fig4
+from repro.experiments.instant_localization import (
+    run_fig5,
+    run_fig6a,
+    run_fig6b,
+)
+from repro.experiments.tracking import run_fig7, run_fig8a, run_fig8b
+from repro.experiments.trace_driven import run_fig9, run_fig10a, run_fig10b
+
+__all__ = [
+    "PaperDefaults",
+    "ExperimentResult",
+    "format_table",
+    "run_fig3a",
+    "run_fig3b",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig7",
+    "run_fig8a",
+    "run_fig8b",
+    "run_fig9",
+    "run_fig10a",
+    "run_fig10b",
+]

@@ -1,0 +1,327 @@
+"""Ablation experiment runners (the design decisions DESIGN.md §6 lists).
+
+Each runner mirrors a figure runner's contract: returns an
+:class:`~repro.experiments.harness.ExperimentResult` whose rows are
+the ablation table. The benchmark files call these; they are also
+reachable from the CLI (``repro experiment`` ablation ids).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import ExperimentResult
+from repro.fingerprint.nls import coordinate_descent
+from repro.fingerprint.objective import FluxObjective
+from repro.fluxmodel.discrete import DiscreteFluxModel
+from repro.network.sampling import sample_sniffers_percentage
+from repro.network.topology import Network, build_network
+from repro.routing.spt import build_collection_tree
+from repro.traffic.measurement import MeasurementModel
+from repro.util.rng import RandomState, as_generator
+
+
+def single_user_attack_error(
+    network: Network,
+    flux: np.ndarray,
+    truth: np.ndarray,
+    gen: np.random.Generator,
+    d_floor: float = 1.0,
+    smooth: bool = True,
+    weighting: str = "absolute",
+    sniffer_percentage: float = 10.0,
+    candidate_count: int = 2500,
+    model: Optional[DiscreteFluxModel] = None,
+) -> float:
+    """One single-user NLS attack; returns the localization error.
+
+    The shared primitive all ablation runners sweep. ``model`` may
+    override the flux model (e.g. a calibrated kernel); when given, it
+    must cover the full node set and is restricted to the sniffers.
+    """
+    sniffers = sample_sniffers_percentage(network, sniffer_percentage, rng=gen)
+    obs = MeasurementModel(network, sniffers, smooth=smooth, rng=gen).observe(flux)
+    if model is None:
+        attack_model = DiscreteFluxModel(
+            network.field, network.positions[sniffers], d_floor=d_floor
+        )
+    else:
+        attack_model = model.restrict_to(sniffers)
+    objective = FluxObjective.from_observation(
+        attack_model, obs, weighting=weighting
+    )
+    pool = [network.field.sample_uniform(candidate_count, gen)]
+    out = coordinate_descent(objective, pool, rng=gen, sweeps=1)
+    best = pool[0][out.best_indices[0]]
+    return float(np.linalg.norm(best - np.asarray(truth, dtype=float)))
+
+
+def _sweep_variants(
+    network: Network,
+    variants: Dict[str, dict],
+    repetitions: int,
+    rng: RandomState,
+    flux_builder=None,
+) -> Dict[str, float]:
+    """Paired sweep: the same (user, flux, attack seed) per repetition
+    is evaluated under every variant's kwargs."""
+    if repetitions < 1:
+        raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
+    gen = as_generator(rng)
+    errors: Dict[str, List[float]] = {name: [] for name in variants}
+    for rep in range(repetitions):
+        truth = network.field.sample_uniform(1, gen)[0]
+        if flux_builder is None:
+            tree = build_collection_tree(network, truth, rng=gen)
+            flux_map = 2.0 * tree.subtree_aggregate()
+            flux_by_variant = {name: flux_map for name in variants}
+        else:
+            flux_by_variant = flux_builder(network, truth, gen, variants)
+        attack_seed = int(gen.integers(2**31))
+        for name, kwargs in variants.items():
+            errors[name].append(
+                single_user_attack_error(
+                    network,
+                    flux_by_variant[name],
+                    truth,
+                    np.random.default_rng(attack_seed),
+                    **kwargs,
+                )
+            )
+    return {name: float(np.mean(v)) for name, v in errors.items()}
+
+
+def run_ablation_d_floor(
+    floors: Sequence[float] = (0.1, 1.0, 2.4),
+    repetitions: int = 6,
+    rng: RandomState = None,
+) -> ExperimentResult:
+    """Near-sink clamp sweep (Formula 3.4 singularity handling)."""
+    gen = as_generator(rng)
+    net = build_network(rng=gen)
+    variants = {f"d_floor={v:g}": {"d_floor": float(v)} for v in floors}
+    means = _sweep_variants(net, variants, repetitions, gen)
+    rows = [{"variant": k, "error": v} for k, v in means.items()]
+    return ExperimentResult(
+        figure="Ablation/d_floor",
+        title="Localization error vs near-sink clamp",
+        rows=rows,
+        paper_reference=(
+            "Fig 3b motivates discounting near-sink nodes; a ~hop-scale "
+            "clamp should be competitive"
+        ),
+    )
+
+
+def run_ablation_smoothing(
+    repetitions: int = 6, rng: RandomState = None
+) -> ExperimentResult:
+    """Neighborhood flux smoothing on/off (paper §III.B claim)."""
+    gen = as_generator(rng)
+    net = build_network(rng=gen)
+    variants = {
+        "smoothing=on": {"smooth": True},
+        "smoothing=off": {"smooth": False},
+    }
+    means = _sweep_variants(net, variants, repetitions, gen)
+    rows = [{"variant": k, "error": v} for k, v in means.items()]
+    return ExperimentResult(
+        figure="Ablation/smoothing",
+        title="Localization error with/without neighborhood averaging",
+        rows=rows,
+        paper_reference=(
+            "smoothing 'mitigates the randomness of routing tree "
+            "construction' (Section III.B)"
+        ),
+    )
+
+
+def run_ablation_weighting(
+    repetitions: int = 6, rng: RandomState = None
+) -> ExperimentResult:
+    """Absolute (paper) vs relative residual weighting."""
+    gen = as_generator(rng)
+    net = build_network(rng=gen)
+    variants = {
+        "weighting=absolute": {"weighting": "absolute"},
+        "weighting=relative": {"weighting": "relative"},
+    }
+    means = _sweep_variants(net, variants, repetitions, gen)
+    rows = [{"variant": k, "error": v} for k, v in means.items()]
+    return ExperimentResult(
+        figure="Ablation/weighting",
+        title="Localization error vs residual weighting",
+        rows=rows,
+        paper_reference="the paper uses plain (absolute) LS residuals",
+    )
+
+
+def run_ablation_routing(
+    repetitions: int = 6, rng: RandomState = None
+) -> ExperimentResult:
+    """BFS vs greedy-geographic collection trees."""
+    from repro.routing.geographic import build_geographic_tree
+
+    gen = as_generator(rng)
+    net = build_network(rng=gen)
+
+    def flux_builder(network, truth, g, variants):
+        out = {}
+        for name in variants:
+            builder = (
+                build_geographic_tree if "geographic" in name else build_collection_tree
+            )
+            tree = builder(network, truth, rng=g)
+            out[name] = 2.0 * tree.subtree_aggregate()
+        return out
+
+    variants = {"routing=bfs": {}, "routing=geographic": {}}
+    means = _sweep_variants(
+        net, variants, repetitions, gen, flux_builder=flux_builder
+    )
+    rows = [{"variant": k, "error": v} for k, v in means.items()]
+    return ExperimentResult(
+        figure="Ablation/routing",
+        title="Attack accuracy across routing families",
+        rows=rows,
+        paper_reference=(
+            "the flux model only assumes sink-oriented concentration; "
+            "the attack should transfer to geographic routing"
+        ),
+    )
+
+
+def run_ablation_aggregation(
+    factors: Sequence[float] = (1.0, 0.5, 0.0),
+    repetitions: int = 6,
+    rng: RandomState = None,
+) -> ExperimentResult:
+    """In-network aggregation (TAG-style) as an implicit defense."""
+    from repro.traffic.aggregation import aggregated_subtree_flux
+
+    gen = as_generator(rng)
+    net = build_network(rng=gen)
+
+    def flux_builder(network, truth, g, variants):
+        tree = build_collection_tree(network, truth, rng=g)
+        weights = np.full(network.node_count, 2.0)
+        return {
+            name: aggregated_subtree_flux(tree, weights, kw["_factor"])
+            for name, kw in _factors.items()
+        }
+
+    _factors = {f"aggregation={f:g}": {"_factor": float(f)} for f in factors}
+    variants = {name: {} for name in _factors}
+    means = _sweep_variants(
+        net, variants, repetitions, gen, flux_builder=flux_builder
+    )
+    rows = [{"variant": k, "error": v} for k, v in means.items()]
+    return ExperimentResult(
+        figure="Ablation/aggregation",
+        title="Attack accuracy vs in-network aggregation factor",
+        rows=rows,
+        paper_reference=(
+            "raw convergecast (factor 1) is the paper's setting; full "
+            "aggregation flattens the fingerprint"
+        ),
+    )
+
+
+def run_ablation_kernel(
+    repetitions: int = 6,
+    probe_count: int = 6,
+    rng: RandomState = None,
+) -> ExperimentResult:
+    """Analytic (Formula 3.4) vs empirically calibrated kernel."""
+    from repro.fluxmodel.empirical import CalibratedFluxModel, fit_empirical_kernel
+
+    gen = as_generator(rng)
+    net = build_network(rng=gen)
+    kernel = fit_empirical_kernel(net, probe_count=probe_count, rng=gen)
+    calibrated = CalibratedFluxModel(
+        net.field, net.positions, kernel=kernel, d_floor=1.0
+    )
+    variants = {
+        "kernel=analytic": {},
+        "kernel=calibrated": {"model": calibrated},
+    }
+    means = _sweep_variants(net, variants, repetitions, gen)
+    rows = [{"variant": k, "error": v} for k, v in means.items()]
+    return ExperimentResult(
+        figure="Ablation/kernel",
+        title="Analytic vs probe-calibrated flux kernel",
+        rows=rows,
+        paper_reference=(
+            "an adversary with probe access can learn the kernel "
+            "correction (extension; not in the paper)"
+        ),
+    )
+
+
+def run_robustness_holes(
+    hole_radii: Sequence[float] = (0.0, 4.0, 7.0),
+    repetitions: int = 6,
+    rng: RandomState = None,
+) -> ExperimentResult:
+    """Coverage holes: the flux model assumes a filled field.
+
+    Nodes inside a central disc obstacle are removed before building
+    the network; traffic routes around the hole, but the model's
+    boundary ray still crosses it — a controlled model-mismatch study.
+    """
+    from repro.geometry import RectangularField
+    from repro.network.graph import UnitDiskGraph
+    from repro.network.deployment import deploy_perturbed_grid
+
+    gen = as_generator(rng)
+    rows = []
+    for radius in hole_radii:
+        field = RectangularField(30.0, 30.0)
+        errors = []
+        attempts = 0
+        while len(errors) < repetitions and attempts < repetitions * 4:
+            attempts += 1
+            positions = deploy_perturbed_grid(field, 900, rng=gen)
+            if radius > 0:
+                keep = (
+                    np.hypot(positions[:, 0] - 15.0, positions[:, 1] - 15.0)
+                    > radius
+                )
+                positions = positions[keep]
+            graph = UnitDiskGraph(positions, 2.4)
+            if not graph.is_connected():
+                continue
+            net = Network(field=field, positions=positions, graph=graph)
+            truth = field.sample_uniform(1, gen)[0]
+            if radius > 0 and np.hypot(truth[0] - 15, truth[1] - 15) <= radius:
+                continue  # users cannot stand inside the hole
+            tree = build_collection_tree(net, truth, rng=gen)
+            flux = 2.0 * tree.subtree_aggregate()
+            errors.append(
+                single_user_attack_error(
+                    net, flux, truth, np.random.default_rng(attempts)
+                )
+            )
+        if not errors:
+            raise ConfigurationError(
+                f"could not build connected holey networks (radius {radius})"
+            )
+        rows.append(
+            {
+                "hole_radius": float(radius),
+                "error": float(np.mean(errors)),
+                "runs": len(errors),
+            }
+        )
+    return ExperimentResult(
+        figure="Robustness/holes",
+        title="Attack accuracy vs central coverage hole radius",
+        rows=rows,
+        paper_reference=(
+            "the flux model assumes a filled field; holes add "
+            "model mismatch (extension; not in the paper)"
+        ),
+    )

@@ -1,0 +1,71 @@
+"""Fig. 4 — recursive briefing of the network flux.
+
+Three users collect simultaneously; briefing detects the dominant
+traffic peak, subtracts its modeled flux, and repeats. The paper shows
+the reduced flux maps after one and two subtractions; we report, per
+round, the detected position error and how much flux energy the
+subtraction removed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentResult
+from repro.fingerprint.briefing import brief_flux_map
+from repro.network.topology import build_network
+from repro.traffic.flux import simulate_flux
+from repro.util.rng import RandomState, spawn_generators
+
+
+def run_fig4(
+    user_count: int = 3,
+    node_count: int = 900,
+    rng: RandomState = None,
+) -> ExperimentResult:
+    """Run recursive briefing on a multi-user flux map."""
+    (gen,) = spawn_generators(rng, 1)
+    net = build_network(node_count=node_count, rng=gen)
+    truth = net.field.sample_uniform(user_count, gen)
+    # Spread users apart so the demo matches the paper's figure (three
+    # clearly separated collection trees).
+    for _ in range(50):
+        d = np.linalg.norm(truth[:, None, :] - truth[None, :, :], axis=2)
+        np.fill_diagonal(d, np.inf)
+        if d.min() > net.field.diameter / 4:
+            break
+        truth = net.field.sample_uniform(user_count, gen)
+    stretches = gen.uniform(1.0, 3.0, user_count)
+    flux = simulate_flux(net, list(truth), list(stretches), rng=gen)
+    total_energy = float(flux @ flux)
+
+    result = brief_flux_map(net, flux, max_users=user_count)
+    rows = []
+    remaining = list(range(user_count))
+    for round_idx, user in enumerate(result.users):
+        dists = np.linalg.norm(truth[remaining] - user.position[None, :], axis=1)
+        nearest = int(np.argmin(dists))
+        matched_error = float(dists[nearest])
+        remaining.pop(nearest)
+        rows.append(
+            {
+                "round": round_idx + 1,
+                "position_error": matched_error,
+                "fitted_theta": user.theta,
+                "residual_energy_fraction": user.residual_energy / total_energy,
+            }
+        )
+    return ExperimentResult(
+        figure="Fig 4",
+        title="Recursive briefing of the network flux",
+        rows=rows,
+        paper_reference=(
+            "each subtraction reveals the next user; the model-based "
+            "reduction matches real observations"
+        ),
+        metadata={
+            "true_positions": truth,
+            "detected_positions": result.positions,
+            "stretches": stretches,
+        },
+    )

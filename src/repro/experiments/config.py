@@ -1,0 +1,72 @@
+"""The paper's evaluation parameters, in one place (Section V)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PaperDefaults:
+    """Settings of the paper's simulations.
+
+    * 900 nodes on a 30x30 rectangular field, perturbed grids [3];
+    * communication radius 2.4 (average degree ~18);
+    * per-user traffic stretch uniform in [1, 3];
+    * Fig. 5: 10,000 candidate samples, top-10 compositions;
+    * SMC: N = 1000 predictions, M = 10 kept, v_max = 5 per round;
+    * sampling-percentage sweeps over {40, 20, 10, 5} %;
+    * density sweeps over {900, 1200, 1500, 1800} nodes at 90 reports;
+    * trace experiment: 20 users/run, 10 runs, timeline / 100.
+    """
+
+    field_size: float = 30.0
+    node_count: int = 900
+    radius: float = 2.4
+    stretch_low: float = 1.0
+    stretch_high: float = 3.0
+    candidate_count: int = 10_000
+    top_m: int = 10
+    prediction_count: int = 1000
+    keep_count: int = 10
+    max_speed: float = 5.0
+    tracking_rounds: int = 10
+    percentages: Tuple[float, ...] = (40.0, 20.0, 10.0, 5.0)
+    density_node_counts: Tuple[int, ...] = (900, 1200, 1500, 1800)
+    density_report_count: int = 90
+    trace_users_per_run: int = 20
+    trace_runs: int = 10
+    trace_compression: float = 100.0
+    resampling_radii: Tuple[float, ...] = (4.0, 6.0, 8.0, 10.0, 12.0)
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1 or self.field_size <= 0 or self.radius <= 0:
+            raise ConfigurationError("invalid paper defaults")
+
+    def scaled(self, factor: float) -> "PaperDefaults":
+        """A cheaper variant for CI benches: divide the search/sample
+        budgets by ``factor`` (topology parameters stay faithful)."""
+        if factor < 1:
+            raise ConfigurationError(f"factor must be >= 1, got {factor}")
+        return PaperDefaults(
+            field_size=self.field_size,
+            node_count=self.node_count,
+            radius=self.radius,
+            stretch_low=self.stretch_low,
+            stretch_high=self.stretch_high,
+            candidate_count=max(200, int(self.candidate_count / factor)),
+            top_m=self.top_m,
+            prediction_count=max(100, int(self.prediction_count / factor)),
+            keep_count=self.keep_count,
+            max_speed=self.max_speed,
+            tracking_rounds=self.tracking_rounds,
+            percentages=self.percentages,
+            density_node_counts=self.density_node_counts,
+            density_report_count=self.density_report_count,
+            trace_users_per_run=max(2, int(self.trace_users_per_run / factor)),
+            trace_runs=max(1, int(self.trace_runs / factor)),
+            trace_compression=self.trace_compression,
+            resampling_radii=self.resampling_radii,
+        )

@@ -1,0 +1,65 @@
+"""Result containers and text reporting for the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: labelled rows plus free-form metadata.
+
+    ``rows`` is a list of dicts sharing a column set; ``format_table``
+    renders them as the text analogue of the paper figure, and
+    ``paper_reference`` records what the original reports so
+    EXPERIMENTS.md comparisons are self-contained.
+    """
+
+    figure: str
+    title: str
+    rows: List[Dict[str, object]]
+    paper_reference: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def column_names(self) -> List[str]:
+        names: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def render(self) -> str:
+        header = f"== {self.figure}: {self.title} =="
+        body = format_table(self.rows)
+        ref = f"paper: {self.paper_reference}" if self.paper_reference else ""
+        return "\n".join(part for part in (header, body, ref) if part)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render dict-rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    names: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in names:
+                names.append(key)
+    table = [[_format_cell(row.get(name, "")) for name in names] for row in rows]
+    widths = [
+        max(len(name), *(len(r[i]) for r in table)) for i, name in enumerate(names)
+    ]
+    lines = [
+        "  ".join(name.ljust(w) for name, w in zip(names, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in table:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,462 @@
+"""Sampling-based NLS search for user positions (paper Section IV.A).
+
+The objective is non-differentiable in the positions on rectangular
+fields, so the paper searches over sampled candidate locations (10,000
+per user in Fig. 5) and keeps the top-10 compositions. Enumerating all
+``N^K`` compositions is infeasible for K > 1 at paper scale, so the
+multi-user search runs *coordinate descent*: sweep one user at a time,
+batch-evaluating all of that user's candidates against the incumbent
+positions of the others, with greedy residual-peeling initialization
+and random restarts. At a coordinate-descent fixpoint the per-user
+candidate ranking equals the paper's "minimum objective over
+compositions" ranking restricted to the incumbent neighborhood — the
+approximation DESIGN.md documents. Exact enumeration is retained for
+small problems (tests, ablation).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FittingError
+from repro.fingerprint.candidates import CandidateGenerator, UniformCandidates
+from repro.fingerprint.objective import FluxObjective, solve_thetas_batched
+from repro.fingerprint.results import CompositionFit, LocalizationResult
+from repro.fluxmodel.discrete import DiscreteFluxModel
+from repro.geometry.field import Field
+from repro.traffic.measurement import FluxObservation
+from repro.util.rng import RandomState, as_generator
+
+
+@dataclass
+class SweepOutcome:
+    """Internal result of one coordinate-descent run over fixed pools.
+
+    Attributes
+    ----------
+    best_indices:
+        Per-user index into that user's candidate pool.
+    best_thetas:
+        ``(K,)`` fitted stretch factors at the incumbent composition.
+    best_objective:
+        Objective at the incumbent composition.
+    per_user_objectives:
+        For each user, the ``(N_j,)`` objectives of all its candidates
+        evaluated against the final incumbents of the other users —
+        exactly the ranking the SMC filtering phase needs.
+    per_user_thetas:
+        For each user, the ``(N_j,)`` fitted theta of the swept user in
+        each of those evaluations.
+    """
+
+    best_indices: np.ndarray
+    best_thetas: np.ndarray
+    best_objective: float
+    per_user_objectives: List[np.ndarray]
+    per_user_thetas: List[np.ndarray]
+
+
+def coordinate_descent(
+    objective: FluxObjective,
+    pools: Sequence[np.ndarray],
+    rng: RandomState = None,
+    sweeps: int = 4,
+    tol: float = 1e-9,
+    init_indices: Optional[np.ndarray] = None,
+) -> SweepOutcome:
+    """Coordinate-descent composition search over per-user candidate pools.
+
+    Parameters
+    ----------
+    objective:
+        Bound flux objective (model + observation).
+    pools:
+        Per-user ``(N_j, 2)`` candidate position arrays.
+    sweeps:
+        Maximum full passes over the users.
+    init_indices:
+        Optional per-user starting candidate indices; greedy residual
+        peeling is used when omitted.
+    """
+    if not pools:
+        raise ConfigurationError("need at least one candidate pool")
+    gen = as_generator(rng)
+    K = len(pools)
+    kernels = [objective.model.geometry_kernels(np.asarray(p, float)) for p in pools]
+    for j, kern in enumerate(kernels):
+        if kern.shape[0] == 0:
+            raise ConfigurationError(f"user {j} has an empty candidate pool")
+
+    # ------------------------------------------------------------------
+    # Initialization: greedy residual peeling in random user order.
+    # ------------------------------------------------------------------
+    order = np.arange(K)
+    gen.shuffle(order)
+    incumbents = np.zeros(K, dtype=np.int64)
+    if init_indices is not None:
+        init_indices = np.asarray(init_indices, dtype=np.int64)
+        if init_indices.shape != (K,):
+            raise ConfigurationError(
+                f"init_indices must have shape ({K},), got {init_indices.shape}"
+            )
+        incumbents = init_indices.copy()
+    else:
+        chosen: List[int] = []
+        fixed_stack: List[np.ndarray] = []
+        for j in order:
+            fixed = np.asarray(fixed_stack) if fixed_stack else None
+            _, objs = objective.evaluate_batch(kernels[j], fixed)
+            best = int(np.argmin(objs))
+            incumbents[j] = best
+            chosen.append(best)
+            fixed_stack.append(kernels[j][best])
+
+    # ------------------------------------------------------------------
+    # Sweeps.
+    # ------------------------------------------------------------------
+    per_user_objectives: List[Optional[np.ndarray]] = [None] * K
+    per_user_thetas: List[Optional[np.ndarray]] = [None] * K
+    best_objective = np.inf
+    best_thetas = np.zeros(K)
+
+    for _ in range(max(1, sweeps)):
+        improved = False
+        gen.shuffle(order)
+        for j in order:
+            others = [k for k in range(K) if k != j]
+            fixed = (
+                np.stack([kernels[k][incumbents[k]] for k in others])
+                if others
+                else None
+            )
+            thetas, objs = objective.evaluate_batch(kernels[j], fixed)
+            per_user_objectives[j] = objs
+            per_user_thetas[j] = thetas[:, 0]
+            best = int(np.argmin(objs))
+            if objs[best] < best_objective - tol:
+                improved = True
+                best_objective = float(objs[best])
+                incumbents[j] = best
+                # Reorder thetas back to user order (swept user first).
+                reordered = np.empty(K)
+                reordered[j] = thetas[best, 0]
+                for pos, k in enumerate(others):
+                    reordered[k] = thetas[best, 1 + pos]
+                best_thetas = reordered
+        if not improved:
+            break
+
+    # Ensure rankings reflect the final incumbents for every user.
+    for j in range(K):
+        others = [k for k in range(K) if k != j]
+        fixed = (
+            np.stack([kernels[k][incumbents[k]] for k in others]) if others else None
+        )
+        thetas, objs = objective.evaluate_batch(kernels[j], fixed)
+        per_user_objectives[j] = objs
+        per_user_thetas[j] = thetas[:, 0]
+
+    return SweepOutcome(
+        best_indices=incumbents,
+        best_thetas=best_thetas,
+        best_objective=best_objective,
+        per_user_objectives=[np.asarray(o) for o in per_user_objectives],
+        per_user_thetas=[np.asarray(t) for t in per_user_thetas],
+    )
+
+
+def prune_inactive_users(
+    objective: FluxObjective,
+    kernels: np.ndarray,
+    tolerance: float = 0.05,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Backward elimination of users whose stretch fits to ~zero.
+
+    An unconstrained multi-user fit happily *splits* one true user's
+    flux across several fitted users (extra degrees of freedom always
+    reduce the residual a little), which defeats both the paper's
+    "choose K conservatively large" robustness claim and the
+    asynchronous-updating test ``s_j/r -> 0``. The operational meaning
+    of that test is: *if removing user j barely changes the best
+    achievable fit, user j did not collect this round.* This routine
+    implements exactly that — repeatedly drop the user whose removal
+    increases the objective the least, as long as the increase stays
+    within ``tolerance`` (relative).
+
+    Parameters
+    ----------
+    kernels:
+        ``(K, n)`` incumbent geometry kernels, one row per user.
+    tolerance:
+        Maximum relative objective increase an inactive user's removal
+        may cause.
+
+    Returns
+    -------
+    ``(active_mask, thetas, objective_value)`` — thetas are zero for
+    pruned users.
+    """
+    kernels = np.asarray(kernels, dtype=float)
+    if kernels.ndim != 2:
+        raise ConfigurationError(f"kernels must be (K, n), got {kernels.shape}")
+    if tolerance < 0:
+        raise ConfigurationError(f"tolerance must be >= 0, got {tolerance}")
+    K = kernels.shape[0]
+    weighted = objective._weight_kernels(kernels)
+    target = objective._weighted_target
+
+    def fit(indices: List[int]) -> Tuple[np.ndarray, float]:
+        thetas, objs = solve_thetas_batched(weighted[indices][None, :, :], target)
+        return thetas[0], float(objs[0])
+
+    active = list(range(K))
+    thetas_active, obj = fit(active)
+    while len(active) > 1:
+        best_j = None
+        best_obj = np.inf
+        best_thetas = None
+        for j in active:
+            subset = [k for k in active if k != j]
+            th, o = fit(subset)
+            if o < best_obj:
+                best_j, best_obj, best_thetas = j, o, th
+        if best_obj <= (1.0 + tolerance) * obj + 1e-12:
+            active.remove(best_j)
+            obj = best_obj
+            thetas_active = best_thetas
+        else:
+            break
+
+    mask = np.zeros(K, dtype=bool)
+    mask[active] = True
+    thetas = np.zeros(K)
+    thetas[active] = thetas_active
+    return mask, thetas, obj
+
+
+def forward_select_active(
+    objective: FluxObjective,
+    kernels: np.ndarray,
+    min_improvement: float = 0.10,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Greedy forward selection of the users that actually collected.
+
+    The conservative dual of :func:`prune_inactive_users`: start from
+    an empty model and add the user whose inclusion improves the fit
+    the most, stopping when the best addition improves the objective
+    by less than ``min_improvement`` (relative). A user that truly
+    collected leaves a large unexplained flux component until added, so
+    it always clears the bar; a silent user only ever soaks up model
+    error, which improves the fit just a few percent.
+
+    Parameters
+    ----------
+    kernels:
+        ``(K, n)`` incumbent geometry kernels, one row per user.
+
+    Returns
+    -------
+    ``(active_mask, thetas, objective_value)`` — thetas are zero for
+    unselected users.
+    """
+    kernels = np.asarray(kernels, dtype=float)
+    if kernels.ndim != 2:
+        raise ConfigurationError(f"kernels must be (K, n), got {kernels.shape}")
+    if not 0 <= min_improvement < 1:
+        raise ConfigurationError(
+            f"min_improvement must be in [0, 1), got {min_improvement}"
+        )
+    K = kernels.shape[0]
+    weighted = objective._weight_kernels(kernels)
+    target = objective._weighted_target
+
+    def fit(indices: List[int]) -> Tuple[np.ndarray, float]:
+        thetas, objs = solve_thetas_batched(weighted[indices][None, :, :], target)
+        return thetas[0], float(objs[0])
+
+    selected: List[int] = []
+    obj = float(np.linalg.norm(target))  # empty model: F == 0
+    thetas_sel = np.zeros(0)
+    remaining = list(range(K))
+    while remaining:
+        best_j = None
+        best_obj = np.inf
+        best_thetas = None
+        for j in remaining:
+            th, o = fit(selected + [j])
+            if o < best_obj:
+                best_j, best_obj, best_thetas = j, o, th
+        if best_obj < (1.0 - min_improvement) * obj:
+            selected.append(best_j)
+            remaining.remove(best_j)
+            obj = best_obj
+            thetas_sel = best_thetas
+        else:
+            break
+
+    mask = np.zeros(K, dtype=bool)
+    thetas = np.zeros(K)
+    if selected:
+        mask[selected] = True
+        thetas[selected] = thetas_sel
+    return mask, thetas, obj
+
+
+def enumerate_compositions(
+    objective: FluxObjective, pools: Sequence[np.ndarray], top_m: int = 10
+) -> List[CompositionFit]:
+    """Exact ``prod N_j`` enumeration (small problems / ablation baseline)."""
+    K = len(pools)
+    sizes = [np.asarray(p).shape[0] for p in pools]
+    total = int(np.prod(sizes))
+    if total > 2_000_000:
+        raise FittingError(
+            f"exact enumeration of {total} compositions is infeasible; "
+            "use coordinate descent"
+        )
+    kernels = [objective.model.geometry_kernels(np.asarray(p, float)) for p in pools]
+    fits: List[CompositionFit] = []
+    batch_idx: List[Tuple[int, ...]] = []
+    batch_stacks: List[np.ndarray] = []
+
+    def flush() -> None:
+        if not batch_idx:
+            return
+        stacks = objective._weight_kernels(np.stack(batch_stacks))
+        thetas, objs = solve_thetas_batched(stacks, objective._weighted_target)
+        for i, combo in enumerate(batch_idx):
+            positions = np.stack(
+                [np.asarray(pools[j], float)[combo[j]] for j in range(K)]
+            )
+            fits.append(
+                CompositionFit(
+                    positions=positions,
+                    thetas=thetas[i],
+                    objective=float(objs[i]),
+                )
+            )
+        batch_idx.clear()
+        batch_stacks.clear()
+
+    for combo in itertools.product(*[range(s) for s in sizes]):
+        batch_idx.append(combo)
+        batch_stacks.append(np.stack([kernels[j][combo[j]] for j in range(K)]))
+        if len(batch_idx) >= 4096:
+            flush()
+    flush()
+    fits.sort(key=lambda f: f.objective)
+    return fits[:top_m]
+
+
+class NLSLocalizer:
+    """Instant localization of K users from one flux observation.
+
+    Parameters
+    ----------
+    field:
+        The deployment field.
+    sniffer_positions:
+        ``(n, 2)`` positions of the sniffed sensors.
+    d_floor:
+        Near-sink clamp of the flux model (see
+        :class:`~repro.fluxmodel.discrete.DiscreteFluxModel`).
+    """
+
+    def __init__(
+        self,
+        field: Field,
+        sniffer_positions: np.ndarray,
+        d_floor: float = 1.0,
+    ):
+        self.field = field
+        self.model = DiscreteFluxModel(field, sniffer_positions, d_floor=d_floor)
+
+    def objective_for(self, observation: FluxObservation) -> FluxObjective:
+        """Bind an observation (handles NaN dropout) into an objective."""
+        return FluxObjective.from_observation(self.model, observation)
+
+    def localize(
+        self,
+        observation: FluxObservation,
+        user_count: int,
+        candidate_count: int = 2000,
+        top_m: int = 10,
+        restarts: int = 3,
+        sweeps: int = 4,
+        generator: Optional[CandidateGenerator] = None,
+        rng: RandomState = None,
+    ) -> LocalizationResult:
+        """Estimate the positions of ``user_count`` users.
+
+        The paper notes K need not be known exactly: choosing K
+        conservatively large works because surplus users fit
+        ``theta -> 0``. Each restart draws fresh candidate pools; the
+        top-``top_m`` distinct compositions across all restarts are
+        returned (Fig. 5 keeps the top 10).
+        """
+        if user_count < 1:
+            raise ConfigurationError(f"user_count must be >= 1, got {user_count}")
+        if candidate_count < 1:
+            raise ConfigurationError(
+                f"candidate_count must be >= 1, got {candidate_count}"
+            )
+        if top_m < 1:
+            raise ConfigurationError(f"top_m must be >= 1, got {top_m}")
+        gen = as_generator(rng)
+        if generator is None:
+            generator = UniformCandidates(self.field)
+        objective = self.objective_for(observation)
+
+        heap: List[Tuple[float, int, np.ndarray, np.ndarray]] = []
+        counter = 0
+        for _ in range(max(1, restarts)):
+            pools = [
+                generator.generate(candidate_count, gen) for _ in range(user_count)
+            ]
+            outcome = coordinate_descent(
+                objective, pools, rng=gen, sweeps=sweeps
+            )
+            # Harvest compositions: the incumbent plus, for each user,
+            # its next-best alternatives against the incumbents.
+            incumbent_pos = np.stack(
+                [pools[j][outcome.best_indices[j]] for j in range(user_count)]
+            )
+            self._push(
+                heap,
+                counter,
+                outcome.best_objective,
+                incumbent_pos,
+                outcome.best_thetas,
+            )
+            counter += 1
+            for j in range(user_count):
+                objs = outcome.per_user_objectives[j]
+                order = np.argsort(objs)[: top_m + 1]
+                for idx in order:
+                    if idx == outcome.best_indices[j]:
+                        continue
+                    pos = incumbent_pos.copy()
+                    pos[j] = pools[j][idx]
+                    thetas = outcome.best_thetas.copy()
+                    thetas[j] = outcome.per_user_thetas[j][idx]
+                    self._push(heap, counter, float(objs[idx]), pos, thetas)
+                    counter += 1
+
+        fits = [
+            CompositionFit(
+                positions=pos, thetas=np.maximum(thetas, 0.0), objective=obj
+            )
+            for obj, _, pos, thetas in sorted(heap, key=lambda e: e[0])[:top_m]
+        ]
+        if not fits:
+            raise FittingError("localization produced no candidate compositions")
+        return LocalizationResult(fits=fits)
+
+    @staticmethod
+    def _push(heap, counter, objective, positions, thetas) -> None:
+        heapq.heappush(heap, (float(objective), counter, positions, thetas))

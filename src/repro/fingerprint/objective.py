@@ -1,0 +1,239 @@
+"""The NLS objective ``min || F(positions, thetas) - F' ||``.
+
+Key structure (paper Formula 4.1): the modeled flux is
+
+    F_i = sum_j theta_j * g_i(p_j),    theta_j = s_j / r >= 0
+
+— *linear* in the integrated stretch factors ``theta``. For any fixed
+candidate positions the optimal thetas solve a tiny non-negative least
+squares problem; we solve the unconstrained normal equations for whole
+batches of candidate compositions at once and fall back to an
+active-set NNLS only for the (rare) candidates whose unconstrained
+solution goes negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FittingError
+from repro.fluxmodel.discrete import DiscreteFluxModel
+from repro.traffic.measurement import FluxObservation
+
+_RIDGE = 1e-10
+
+
+def solve_thetas(kernels: np.ndarray, target: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Non-negative LS for one composition.
+
+    Parameters
+    ----------
+    kernels:
+        ``(K, n)`` geometry kernels (one row per user).
+    target:
+        ``(n,)`` observed flux.
+
+    Returns
+    -------
+    ``(thetas, objective)`` where ``objective = ||kernels.T @ thetas - target||_2``.
+    """
+    kernels = np.asarray(kernels, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if kernels.ndim != 2 or kernels.shape[1] != target.shape[0]:
+        raise ConfigurationError(
+            f"kernels {kernels.shape} incompatible with target {target.shape}"
+        )
+    from scipy.optimize import nnls
+
+    thetas, residual = nnls(kernels.T, target)
+    return thetas, float(residual)
+
+
+def solve_thetas_batched(
+    kernel_stacks: np.ndarray, target: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Non-negative LS for a batch of compositions.
+
+    Parameters
+    ----------
+    kernel_stacks:
+        ``(B, K, n)`` — B candidate compositions of K users over n
+        sniffers.
+    target:
+        ``(n,)`` observed flux.
+
+    Returns
+    -------
+    ``(thetas, objectives)`` with shapes ``(B, K)`` and ``(B,)``.
+
+    Strategy: batched unconstrained normal equations (one
+    ``np.linalg.solve`` over stacked K x K systems); compositions whose
+    solution violates ``theta >= 0`` are re-solved exactly with NNLS.
+    """
+    kernel_stacks = np.asarray(kernel_stacks, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if kernel_stacks.ndim != 3:
+        raise ConfigurationError(
+            f"kernel_stacks must be (B, K, n), got {kernel_stacks.shape}"
+        )
+    B, K, n = kernel_stacks.shape
+    if target.shape != (n,):
+        raise ConfigurationError(
+            f"target must have shape ({n},), got {target.shape}"
+        )
+
+    # Normal equations: A = G G^T (B, K, K), b = G F' (B, K).
+    A = kernel_stacks @ kernel_stacks.transpose(0, 2, 1)
+    A = A + _RIDGE * np.eye(K)[None, :, :]
+    b = kernel_stacks @ target
+    try:
+        thetas = np.linalg.solve(A, b[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        thetas = _pinv_solve(A, b)
+
+    negative = np.any(thetas < 0, axis=1)
+    if np.any(negative):
+        from scipy.optimize import nnls
+
+        for idx in np.flatnonzero(negative):
+            thetas[idx], _ = nnls(kernel_stacks[idx].T, target)
+
+    predicted = np.einsum("bk,bkn->bn", thetas, kernel_stacks)
+    objectives = np.linalg.norm(predicted - target[None, :], axis=1)
+    return thetas, objectives
+
+
+def _pinv_solve(A: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.empty_like(b)
+    for i in range(A.shape[0]):
+        out[i] = np.linalg.pinv(A[i]) @ b[i]
+    return out
+
+
+@dataclass
+class FluxObjective:
+    """Bound objective: a flux model over the sniffer nodes plus one observation.
+
+    Handles NaN readings (sniffer dropout) by masking them out of both
+    the kernels and the target. Optional per-sniffer ``weights`` turn
+    the residual into a weighted LS problem; *relative* weighting
+    (``w_i ~ 1/F'_i``) stops the huge near-sink fluxes from dominating
+    the fit, which matters because the model is least accurate exactly
+    there (paper Fig. 3b).
+    """
+
+    model: DiscreteFluxModel
+    target: np.ndarray
+    weights: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.target = np.asarray(self.target, dtype=float)
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=float)
+            if self.weights.shape != self.target.shape:
+                raise ConfigurationError(
+                    f"weights {self.weights.shape} must match target "
+                    f"{self.target.shape}"
+                )
+            if np.any(self.weights <= 0) or not np.all(np.isfinite(self.weights)):
+                raise ConfigurationError("weights must be finite and positive")
+        self._weighted_target = (
+            self.target if self.weights is None else self.weights * self.target
+        )
+
+    @classmethod
+    def from_observation(
+        cls,
+        model: DiscreteFluxModel,
+        observation: FluxObservation,
+        weighting: str = "absolute",
+    ) -> "FluxObjective":
+        """Build from a :class:`FluxObservation` over the same sniffer set.
+
+        Parameters
+        ----------
+        weighting:
+            ``"absolute"`` — plain LS on raw flux residuals (the
+            paper's formulation and our default); ``"relative"`` —
+            residuals scaled by ``1 / max(F'_i, median positive flux)``
+            so every sniffer contributes comparably (see the weighting
+            ablation bench; helps single-user, hurts multi-user).
+        """
+        values = np.asarray(observation.values, dtype=float)
+        if values.shape[0] != model.node_count:
+            raise ConfigurationError(
+                f"observation has {values.shape[0]} readings but the model covers "
+                f"{model.node_count} nodes"
+            )
+        good = ~np.isnan(values)
+        if not np.any(good):
+            raise FittingError("all sniffer readings dropped out; cannot fit")
+        if not np.all(good):
+            model = model.restrict_to(np.flatnonzero(good))
+            values = values[good]
+        if weighting == "absolute":
+            weights = None
+        elif weighting == "relative":
+            positive = values[values > 0]
+            floor = float(np.median(positive)) if positive.size else 1.0
+            weights = 1.0 / np.maximum(values, max(floor, 1e-12))
+        else:
+            raise ConfigurationError(
+                f"weighting must be 'absolute' or 'relative', got {weighting!r}"
+            )
+        return cls(model=model, target=values, weights=weights)
+
+    @property
+    def sniffer_count(self) -> int:
+        return int(self.target.shape[0])
+
+    def _weight_kernels(self, kernels: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            return kernels
+        return kernels * self.weights  # broadcasts over leading axes
+
+    def evaluate(self, sinks: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Best thetas and objective for one composition of sink positions."""
+        kernels = self.model.geometry_kernels(np.asarray(sinks, dtype=float))
+        return solve_thetas(self._weight_kernels(kernels), self._weighted_target)
+
+    def evaluate_batch(
+        self,
+        candidate_kernels: np.ndarray,
+        fixed_kernels: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate many single-user candidates against fixed co-users.
+
+        Parameters
+        ----------
+        candidate_kernels:
+            ``(N, n)`` kernels of N candidate positions for the user
+            being swept.
+        fixed_kernels:
+            ``(K-1, n)`` kernels of the other users' incumbent
+            positions, or ``None`` for the single-user case.
+
+        Returns
+        -------
+        ``(thetas, objectives)`` of shapes ``(N, K)`` and ``(N,)``
+        where the *first* theta column corresponds to the swept user.
+        """
+        candidate_kernels = np.asarray(candidate_kernels, dtype=float)
+        if candidate_kernels.ndim != 2:
+            raise ConfigurationError(
+                f"candidate_kernels must be (N, n), got {candidate_kernels.shape}"
+            )
+        candidate_kernels = self._weight_kernels(candidate_kernels)
+        N = candidate_kernels.shape[0]
+        if fixed_kernels is None or fixed_kernels.shape[0] == 0:
+            stacks = candidate_kernels[:, None, :]
+        else:
+            fixed = self._weight_kernels(np.asarray(fixed_kernels, dtype=float))
+            fixed = np.broadcast_to(
+                fixed[None, :, :], (N, fixed.shape[0], fixed.shape[1])
+            )
+            stacks = np.concatenate([candidate_kernels[:, None, :], fixed], axis=1)
+        return solve_thetas_batched(stacks, self._weighted_target)

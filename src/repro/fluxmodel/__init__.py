@@ -1,0 +1,30 @@
+"""The paper's parameterized network flux model (Section III.B)."""
+
+from repro.fluxmodel.continuous import continuous_flux
+from repro.fluxmodel.discrete import DiscreteFluxModel, model_flux
+from repro.fluxmodel.calibration import estimate_hop_distance
+from repro.fluxmodel.empirical import (
+    CalibratedFluxModel,
+    EmpiricalKernel,
+    fit_empirical_kernel,
+)
+from repro.fluxmodel.accuracy import (
+    ModelAccuracyReport,
+    approximation_error_rates,
+    flux_by_hops,
+    model_accuracy_report,
+)
+
+__all__ = [
+    "continuous_flux",
+    "DiscreteFluxModel",
+    "model_flux",
+    "estimate_hop_distance",
+    "CalibratedFluxModel",
+    "EmpiricalKernel",
+    "fit_empirical_kernel",
+    "approximation_error_rates",
+    "flux_by_hops",
+    "ModelAccuracyReport",
+    "model_accuracy_report",
+]

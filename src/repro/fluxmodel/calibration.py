@@ -1,0 +1,48 @@
+"""Hop-distance calibration.
+
+Formula 3.4 contains the average per-hop distance ``r``. The fitting
+pipeline folds it into ``theta = s/r``, but the model-accuracy study
+(Fig. 3) and briefing need an explicit estimate ``r_hat``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.topology import Network
+from repro.routing.tree import CollectionTree
+
+
+def estimate_hop_distance(
+    network: Network, tree: CollectionTree = None, min_hops: int = 1
+) -> float:
+    """Estimate the average physical distance covered per hop.
+
+    If a collection ``tree`` is given, uses the regression-free
+    estimator ``mean(euclidean_distance(node, root) / hops(node))``
+    over nodes at least ``min_hops`` out, which directly measures the
+    distance-per-hop ratio the model divides by. Without a tree, falls
+    back to the mean communication-edge length (an overestimate of the
+    straight-line progress per hop by the detour factor, but adequate
+    since fitting folds ``r`` into ``theta``).
+    """
+    if tree is None:
+        lengths = network.graph.edge_lengths()
+        if lengths.size == 0:
+            raise ConfigurationError("network has no edges to calibrate from")
+        return float(lengths.mean())
+
+    if min_hops < 1:
+        raise ConfigurationError(f"min_hops must be >= 1, got {min_hops}")
+    mask = tree.hops >= min_hops
+    if not np.any(mask):
+        raise ConfigurationError(
+            f"no nodes at >= {min_hops} hops; cannot calibrate"
+        )
+    root_pos = network.positions[tree.root]
+    d = np.hypot(
+        network.positions[mask, 0] - root_pos[0],
+        network.positions[mask, 1] - root_pos[1],
+    )
+    return float(np.mean(d / tree.hops[mask]))

@@ -1,0 +1,44 @@
+"""Continuous (infinite-density) flux model — paper Formula 3.2.
+
+For a sink in a field of infinite node density where each unit area
+generates ``s`` units of data toward the sink, the flux density at a
+point at distance ``d`` from the sink, with boundary distance ``l``
+along the sink->point ray, is ``F = s (l^2 - d^2) / (2 d)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def continuous_flux(
+    d: np.ndarray, l: np.ndarray, stretch: float = 1.0, d_floor: float = 1e-6
+) -> np.ndarray:
+    """Evaluate Formula 3.2, ``F = s (l^2 - d^2) / (2 d)``.
+
+    Parameters
+    ----------
+    d:
+        Distance(s) from the sink to the evaluation point(s).
+    l:
+        Boundary distance(s) along the sink->point ray; must satisfy
+        ``l >= d`` for in-field points (violations are clamped to zero
+        flux, matching the model's "no data beyond the boundary").
+    stretch:
+        Data generated per unit area, ``s``.
+    d_floor:
+        Lower clamp on ``d`` to avoid the singularity at the sink.
+    """
+    d = np.asarray(d, dtype=float)
+    l = np.asarray(l, dtype=float)
+    if d.shape != l.shape:
+        raise ConfigurationError(f"d {d.shape} and l {l.shape} must have equal shape")
+    if not np.isfinite(stretch) or stretch < 0:
+        raise ConfigurationError(f"stretch must be finite and >= 0, got {stretch}")
+    if d_floor <= 0:
+        raise ConfigurationError(f"d_floor must be > 0, got {d_floor}")
+    dd = np.maximum(d, d_floor)
+    flux = stretch * (l * l - dd * dd) / (2.0 * dd)
+    return np.maximum(flux, 0.0)

@@ -1,0 +1,29 @@
+"""Vectorized Euclidean distance helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+def _check_points(name: str, points: np.ndarray) -> np.ndarray:
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise GeometryError(f"{name} must have shape (n, 2), got {points.shape}")
+    return points
+
+
+def distances_to_point(points: np.ndarray, origin: np.ndarray) -> np.ndarray:
+    """Euclidean distance from each of ``points`` (n, 2) to ``origin`` (2,)."""
+    points = _check_points("points", points)
+    origin = np.asarray(origin, dtype=float).reshape(2)
+    return np.hypot(points[:, 0] - origin[0], points[:, 1] - origin[1])
+
+
+def pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs distance matrix of shape ``(len(a), len(b))``."""
+    a = _check_points("a", a)
+    b = _check_points("b", b)
+    diff = a[:, None, :] - b[None, :, :]
+    return np.hypot(diff[..., 0], diff[..., 1])

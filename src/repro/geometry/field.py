@@ -1,0 +1,378 @@
+"""Field boundaries and the vectorized boundary ray-cast query.
+
+The paper's flux model (Formula 3.4) depends on the shape of the
+deployment field through ``l(x_i, y_i, x_j, y_j)``: the distance from a
+sink to the field boundary along the sink->node direction. The paper
+notes that a rectangular field makes the NLS objective
+non-differentiable — which is exactly why it resorts to sampling-based
+search. We implement rectangular (the paper's evaluation field),
+circular (smooth; used by the scipy-refinement baseline), and general
+convex-polygon boundaries.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GeometryError
+from repro.util.validation import check_finite_array, check_positive
+
+_EPS = 1e-12
+
+
+class Field(abc.ABC):
+    """A bounded planar region in which the sensor network is deployed."""
+
+    @property
+    @abc.abstractmethod
+    def area(self) -> float:
+        """Area of the field."""
+
+    @property
+    @abc.abstractmethod
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """Axis-aligned bounding box ``(xmin, ymin, xmax, ymax)``."""
+
+    @property
+    def diameter(self) -> float:
+        """Diameter of the bounding box (used for error normalization)."""
+        xmin, ymin, xmax, ymax = self.bounding_box
+        return float(np.hypot(xmax - xmin, ymax - ymin))
+
+    @abc.abstractmethod
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of which ``points`` (shape ``(n, 2)``) lie inside."""
+
+    @abc.abstractmethod
+    def ray_exit_distance(
+        self, origins: np.ndarray, directions: np.ndarray
+    ) -> np.ndarray:
+        """Distance from each origin to the boundary along each unit direction.
+
+        Parameters
+        ----------
+        origins:
+            ``(n, 2)`` points inside (or on) the field.
+        directions:
+            ``(n, 2)`` unit direction vectors.
+
+        Returns
+        -------
+        ``(n,)`` non-negative exit distances. Origins outside the field
+        raise :class:`~repro.errors.GeometryError`.
+        """
+
+    @abc.abstractmethod
+    def sample_uniform(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` points uniformly from the field, shape ``(count, 2)``."""
+
+    def clip(self, points: np.ndarray) -> np.ndarray:
+        """Project ``points`` onto the field (nearest inside point).
+
+        Default implementation clamps to the bounding box then leaves
+        the caller to re-check containment; subclasses with exact
+        projections override this.
+        """
+        xmin, ymin, xmax, ymax = self.bounding_box
+        points = np.asarray(points, dtype=float)
+        clipped = np.empty_like(points)
+        clipped[..., 0] = np.clip(points[..., 0], xmin, xmax)
+        clipped[..., 1] = np.clip(points[..., 1], ymin, ymax)
+        return clipped
+
+
+def _as_points(points: np.ndarray) -> np.ndarray:
+    points = np.asarray(points, dtype=float)
+    if points.ndim == 1:
+        points = points[None, :]
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise GeometryError(f"points must have shape (n, 2), got {points.shape}")
+    return points
+
+
+class RectangularField(Field):
+    """Axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``.
+
+    This is the field used in the paper's evaluation (a 30 x 30 square).
+    """
+
+    def __init__(self, width: float, height: float, origin: Tuple[float, float] = (0.0, 0.0)):
+        self.width = check_positive("width", width)
+        self.height = check_positive("height", height)
+        self.xmin = float(origin[0])
+        self.ymin = float(origin[1])
+        self.xmax = self.xmin + self.width
+        self.ymax = self.ymin + self.height
+
+    def __repr__(self) -> str:
+        return (
+            f"RectangularField({self.width}x{self.height}, "
+            f"origin=({self.xmin}, {self.ymin}))"
+        )
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        return (self.xmin, self.ymin, self.xmax, self.ymax)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        points = _as_points(points)
+        x, y = points[:, 0], points[:, 1]
+        return (
+            (x >= self.xmin - _EPS)
+            & (x <= self.xmax + _EPS)
+            & (y >= self.ymin - _EPS)
+            & (y <= self.ymax + _EPS)
+        )
+
+    def ray_exit_distance(
+        self, origins: np.ndarray, directions: np.ndarray
+    ) -> np.ndarray:
+        origins = _as_points(origins)
+        directions = _as_points(directions)
+        if origins.shape != directions.shape:
+            raise GeometryError(
+                f"origins {origins.shape} and directions {directions.shape} must match"
+            )
+        if not np.all(self.contains(origins)):
+            raise GeometryError("ray origins must lie inside the field")
+
+        # Slab method: for each wall, the parameter t at which the ray
+        # crosses it; the exit distance is the smallest positive t.
+        ox, oy = origins[:, 0], origins[:, 1]
+        dx, dy = directions[:, 0], directions[:, 1]
+
+        t_exit = np.full(origins.shape[0], np.inf)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            for wall, o, d in (
+                (self.xmin, ox, dx),
+                (self.xmax, ox, dx),
+                (self.ymin, oy, dy),
+                (self.ymax, oy, dy),
+            ):
+                t = (wall - o) / d
+                valid = np.isfinite(t) & (t > _EPS)
+                t_exit = np.where(valid & (t < t_exit), t, t_exit)
+
+        # A zero direction vector never exits; reject it explicitly.
+        degenerate = np.hypot(dx, dy) < _EPS
+        if np.any(degenerate):
+            raise GeometryError("direction vectors must be non-zero")
+        if np.any(~np.isfinite(t_exit)):
+            raise GeometryError("ray never exits the field (numerical issue)")
+        return t_exit
+
+    def sample_uniform(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        xs = rng.uniform(self.xmin, self.xmax, size=count)
+        ys = rng.uniform(self.ymin, self.ymax, size=count)
+        return np.column_stack([xs, ys])
+
+
+class CircularField(Field):
+    """Disc of given radius centered at ``center``.
+
+    The circular boundary makes ``l`` (and hence the NLS objective)
+    smooth in the sink position, so gradient-based refinement applies;
+    we use it for the scipy-refinement ablation.
+    """
+
+    def __init__(self, radius: float, center: Tuple[float, float] = (0.0, 0.0)):
+        self.radius = check_positive("radius", radius)
+        self.center = np.asarray(center, dtype=float)
+        if self.center.shape != (2,):
+            raise ConfigurationError(f"center must be length-2, got {center!r}")
+
+    def __repr__(self) -> str:
+        return f"CircularField(radius={self.radius}, center={tuple(self.center)})"
+
+    @property
+    def area(self) -> float:
+        return float(np.pi * self.radius**2)
+
+    @property
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        cx, cy = self.center
+        return (cx - self.radius, cy - self.radius, cx + self.radius, cy + self.radius)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        points = _as_points(points)
+        return (
+            np.hypot(points[:, 0] - self.center[0], points[:, 1] - self.center[1])
+            <= self.radius + _EPS
+        )
+
+    def ray_exit_distance(
+        self, origins: np.ndarray, directions: np.ndarray
+    ) -> np.ndarray:
+        origins = _as_points(origins)
+        directions = _as_points(directions)
+        if origins.shape != directions.shape:
+            raise GeometryError(
+                f"origins {origins.shape} and directions {directions.shape} must match"
+            )
+        if not np.all(self.contains(origins)):
+            raise GeometryError("ray origins must lie inside the field")
+        norms = np.hypot(directions[:, 0], directions[:, 1])
+        if np.any(norms < _EPS):
+            raise GeometryError("direction vectors must be non-zero")
+        u = directions / norms[:, None]
+        rel = origins - self.center[None, :]
+        # Solve |rel + t*u| = radius for the positive root.
+        b = np.einsum("ij,ij->i", rel, u)
+        c = np.einsum("ij,ij->i", rel, rel) - self.radius**2
+        disc = np.maximum(b * b - c, 0.0)
+        t = -b + np.sqrt(disc)
+        return np.maximum(t, 0.0)
+
+    def sample_uniform(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        radii = self.radius * np.sqrt(rng.uniform(0.0, 1.0, size=count))
+        angles = rng.uniform(0.0, 2.0 * np.pi, size=count)
+        return self.center[None, :] + np.column_stack(
+            [radii * np.cos(angles), radii * np.sin(angles)]
+        )
+
+    def clip(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=float)
+        rel = points - self.center
+        dist = np.hypot(rel[..., 0], rel[..., 1])
+        scale = np.where(dist > self.radius, self.radius / np.maximum(dist, _EPS), 1.0)
+        return self.center + rel * scale[..., None]
+
+
+class PolygonField(Field):
+    """Convex polygon field (vertices in counter-clockwise order).
+
+    Generalizes the rectangle: irregular campus-shaped deployments in
+    the trace-driven experiment can be modeled with an arbitrary convex
+    boundary.
+    """
+
+    def __init__(self, vertices: Iterable[Tuple[float, float]]):
+        verts = check_finite_array("vertices", np.asarray(list(vertices), dtype=float))
+        if verts.ndim != 2 or verts.shape[1] != 2 or verts.shape[0] < 3:
+            raise ConfigurationError(
+                f"vertices must have shape (k>=3, 2), got {verts.shape}"
+            )
+        area2 = _signed_area2(verts)
+        if abs(area2) < _EPS:
+            raise ConfigurationError("polygon is degenerate (zero area)")
+        if area2 < 0:  # normalize to counter-clockwise
+            verts = verts[::-1].copy()
+        if not _is_convex_ccw(verts):
+            raise ConfigurationError("PolygonField requires a convex polygon")
+        self.vertices = verts
+
+    def __repr__(self) -> str:
+        return f"PolygonField({self.vertices.shape[0]} vertices)"
+
+    @property
+    def area(self) -> float:
+        return float(_signed_area2(self.vertices) / 2.0)
+
+    @property
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        xs, ys = self.vertices[:, 0], self.vertices[:, 1]
+        return (float(xs.min()), float(ys.min()), float(xs.max()), float(ys.max()))
+
+    def _edges(self) -> Tuple[np.ndarray, np.ndarray]:
+        a = self.vertices
+        b = np.roll(self.vertices, -1, axis=0)
+        return a, b
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        points = _as_points(points)
+        a, b = self._edges()
+        edge = b - a  # (k, 2)
+        rel = points[:, None, :] - a[None, :, :]  # (n, k, 2)
+        cross = edge[None, :, 0] * rel[:, :, 1] - edge[None, :, 1] * rel[:, :, 0]
+        return np.all(cross >= -1e-9, axis=1)
+
+    def ray_exit_distance(
+        self, origins: np.ndarray, directions: np.ndarray
+    ) -> np.ndarray:
+        origins = _as_points(origins)
+        directions = _as_points(directions)
+        if origins.shape != directions.shape:
+            raise GeometryError(
+                f"origins {origins.shape} and directions {directions.shape} must match"
+            )
+        if not np.all(self.contains(origins)):
+            raise GeometryError("ray origins must lie inside the field")
+        norms = np.hypot(directions[:, 0], directions[:, 1])
+        if np.any(norms < _EPS):
+            raise GeometryError("direction vectors must be non-zero")
+        u = directions / norms[:, None]
+
+        a, b = self._edges()
+        edge = b - a
+        # Ray p + t*u crosses edge a + s*edge where both parameters are
+        # admissible; for a convex polygon the exit is the smallest
+        # positive t over all edges.
+        n_pts = origins.shape[0]
+        t_exit = np.full(n_pts, np.inf)
+        for i in range(a.shape[0]):
+            e = edge[i]
+            denom = u[:, 0] * e[1] - u[:, 1] * e[0]
+            rel = a[i][None, :] - origins
+            with np.errstate(divide="ignore", invalid="ignore"):
+                t = (rel[:, 0] * e[1] - rel[:, 1] * e[0]) / denom
+                s = (u[:, 1] * rel[:, 0] - u[:, 0] * rel[:, 1]) / denom
+            valid = (
+                np.isfinite(t)
+                & np.isfinite(s)
+                & (t > _EPS)
+                & (s >= -1e-9)
+                & (s <= 1.0 + 1e-9)
+            )
+            t_exit = np.where(valid & (t < t_exit), t, t_exit)
+        if np.any(~np.isfinite(t_exit)):
+            raise GeometryError("ray never exits the polygon (numerical issue)")
+        return t_exit
+
+    def sample_uniform(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        # Rejection sampling from the bounding box; convexity keeps the
+        # acceptance rate >= polygon_area / bbox_area which is bounded
+        # away from zero for non-degenerate polygons.
+        xmin, ymin, xmax, ymax = self.bounding_box
+        out = np.empty((count, 2))
+        filled = 0
+        while filled < count:
+            need = count - filled
+            cand = np.column_stack(
+                [
+                    rng.uniform(xmin, xmax, size=2 * need + 8),
+                    rng.uniform(ymin, ymax, size=2 * need + 8),
+                ]
+            )
+            ok = cand[self.contains(cand)]
+            take = min(need, ok.shape[0])
+            out[filled : filled + take] = ok[:take]
+            filled += take
+        return out
+
+
+def _signed_area2(verts: np.ndarray) -> float:
+    x, y = verts[:, 0], verts[:, 1]
+    return float(np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y))
+
+
+def _is_convex_ccw(verts: np.ndarray) -> bool:
+    a = verts
+    b = np.roll(verts, -1, axis=0)
+    c = np.roll(verts, -2, axis=0)
+    cross = (b[:, 0] - a[:, 0]) * (c[:, 1] - b[:, 1]) - (b[:, 1] - a[:, 1]) * (
+        c[:, 0] - b[:, 0]
+    )
+    return bool(np.all(cross >= -1e-9))

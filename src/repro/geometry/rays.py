@@ -1,0 +1,77 @@
+"""Boundary-distance queries for the flux model.
+
+Formula 3.4 of the paper needs, for every (sink, node) pair, the length
+``l`` of the chord from the sink through the node to the field
+boundary. These helpers vectorize that query over many nodes (and many
+candidate sink positions), which is the inner loop of both NLS fitting
+and SMC filtering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.field import Field
+
+_EPS = 1e-12
+
+
+def boundary_distances(
+    field: Field,
+    sink: np.ndarray,
+    nodes: np.ndarray,
+    degenerate_direction: np.ndarray = (1.0, 0.0),
+) -> np.ndarray:
+    """Distance from ``sink`` to the boundary along each sink->node ray.
+
+    Parameters
+    ----------
+    field:
+        The deployment field.
+    sink:
+        ``(2,)`` sink position (must be inside the field).
+    nodes:
+        ``(n, 2)`` node positions.
+    degenerate_direction:
+        Direction to use for nodes coincident with the sink (where the
+        ray direction is undefined). Any fixed unit vector is fine —
+        the flux model clamps the corresponding distance ``d`` anyway.
+
+    Returns
+    -------
+    ``(n,)`` boundary distances ``l_i >= d_i`` for in-field nodes.
+    """
+    sink = np.asarray(sink, dtype=float).reshape(2)
+    nodes = np.asarray(nodes, dtype=float)
+    if nodes.ndim != 2 or nodes.shape[1] != 2:
+        raise GeometryError(f"nodes must have shape (n, 2), got {nodes.shape}")
+    directions = nodes - sink[None, :]
+    norms = np.hypot(directions[:, 0], directions[:, 1])
+    fallback = np.asarray(degenerate_direction, dtype=float).reshape(2)
+    unit = np.where(
+        norms[:, None] > _EPS, directions / np.maximum(norms, _EPS)[:, None], fallback
+    )
+    origins = np.broadcast_to(sink, nodes.shape).copy()
+    return field.ray_exit_distance(origins, unit)
+
+
+def pairwise_boundary_distances(
+    field: Field, sinks: np.ndarray, nodes: np.ndarray
+) -> np.ndarray:
+    """Boundary distances for every (sink, node) pair.
+
+    Returns an ``(m, n)`` array where entry ``(j, i)`` is the distance
+    from sink ``j`` to the boundary along the ray towards node ``i``.
+    Used to batch-evaluate the flux model for many candidate sink
+    positions at once.
+    """
+    sinks = np.asarray(sinks, dtype=float)
+    if sinks.ndim == 1:
+        sinks = sinks[None, :]
+    if sinks.ndim != 2 or sinks.shape[1] != 2:
+        raise GeometryError(f"sinks must have shape (m, 2), got {sinks.shape}")
+    out = np.empty((sinks.shape[0], np.asarray(nodes).shape[0]))
+    for j in range(sinks.shape[0]):
+        out[j] = boundary_distances(field, sinks[j], nodes)
+    return out

@@ -1,0 +1,17 @@
+"""Mobility substrate: trajectories and movement models for the evaluation."""
+
+from repro.mobility.trajectory import Trajectory
+from repro.mobility.models import (
+    crossing_trajectories,
+    linear_trajectory,
+    random_waypoint_trajectory,
+    random_walk_trajectory,
+)
+
+__all__ = [
+    "Trajectory",
+    "linear_trajectory",
+    "random_waypoint_trajectory",
+    "random_walk_trajectory",
+    "crossing_trajectories",
+]

@@ -1,0 +1,117 @@
+"""Movement-model generators for the tracking evaluation (Section V.B).
+
+The paper restricts each user's speed below ``v_max = 5`` per
+detection interval and drives users along straight or gently turning
+trajectories (Fig. 7), including the deliberately crossing pair of
+Fig. 7(d).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.field import Field
+from repro.mobility.trajectory import Trajectory
+from repro.util.rng import RandomState, as_generator
+from repro.util.validation import check_positive
+
+
+def linear_trajectory(
+    start: np.ndarray, end: np.ndarray, rounds: int, delta_t: float = 1.0
+) -> Trajectory:
+    """Constant-velocity straight line sampled at ``rounds`` instants."""
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    check_positive("delta_t", delta_t)
+    start = np.asarray(start, dtype=float).reshape(2)
+    end = np.asarray(end, dtype=float).reshape(2)
+    fractions = np.linspace(0.0, 1.0, rounds)[:, None]
+    positions = start[None, :] * (1 - fractions) + end[None, :] * fractions
+    times = np.arange(rounds, dtype=float) * delta_t
+    return Trajectory(times=times, positions=positions)
+
+
+def random_waypoint_trajectory(
+    field: Field,
+    rounds: int,
+    speed: float,
+    delta_t: float = 1.0,
+    rng: RandomState = None,
+) -> Trajectory:
+    """Random-waypoint motion: walk toward random targets at fixed speed."""
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    check_positive("speed", speed)
+    check_positive("delta_t", delta_t)
+    gen = as_generator(rng)
+    pos = field.sample_uniform(1, gen)[0]
+    target = field.sample_uniform(1, gen)[0]
+    positions = [pos.copy()]
+    for _ in range(rounds - 1):
+        step = speed * delta_t
+        to_target = target - pos
+        dist = float(np.hypot(*to_target))
+        while dist < step:
+            pos = target
+            step -= dist
+            target = field.sample_uniform(1, gen)[0]
+            to_target = target - pos
+            dist = float(np.hypot(*to_target))
+        pos = pos + to_target / dist * step
+        positions.append(pos.copy())
+    times = np.arange(rounds, dtype=float) * delta_t
+    return Trajectory(times=times, positions=np.asarray(positions))
+
+
+def random_walk_trajectory(
+    field: Field,
+    rounds: int,
+    max_step: float,
+    delta_t: float = 1.0,
+    rng: RandomState = None,
+) -> Trajectory:
+    """Uniform-disc random walk (each step uniform within ``max_step``).
+
+    Exactly matches the tracker's weak motion model (Formula 4.2) —
+    the best case for prediction; waypoint motion is the harder,
+    structured case.
+    """
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    check_positive("max_step", max_step)
+    check_positive("delta_t", delta_t)
+    gen = as_generator(rng)
+    pos = field.sample_uniform(1, gen)[0]
+    positions = [pos.copy()]
+    for _ in range(rounds - 1):
+        radius = max_step * np.sqrt(gen.uniform())
+        angle = gen.uniform(0, 2 * np.pi)
+        pos = field.clip(pos + radius * np.array([np.cos(angle), np.sin(angle)]))
+        positions.append(np.asarray(pos).reshape(2).copy())
+    times = np.arange(rounds, dtype=float) * delta_t
+    return Trajectory(times=times, positions=np.asarray(positions))
+
+
+def crossing_trajectories(
+    field: Field, rounds: int, delta_t: float = 1.0, margin_fraction: float = 0.2
+) -> Tuple[Trajectory, Trajectory]:
+    """Two straight trajectories that intersect mid-field (Fig. 7d).
+
+    User A walks one diagonal, user B the other, meeting at the field
+    center at the middle round — the identity-mixing stress case.
+    """
+    if rounds < 2:
+        raise ConfigurationError(f"rounds must be >= 2, got {rounds}")
+    xmin, ymin, xmax, ymax = field.bounding_box
+    mx = (xmax - xmin) * margin_fraction
+    my = (ymax - ymin) * margin_fraction
+    a = linear_trajectory(
+        (xmin + mx, ymin + my), (xmax - mx, ymax - my), rounds, delta_t
+    )
+    b = linear_trajectory(
+        (xmin + mx, ymax - my), (xmax - mx, ymin + my), rounds, delta_t
+    )
+    return a, b

@@ -1,0 +1,106 @@
+"""Timestamped trajectories with interpolation and speed checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A user's timestamped path.
+
+    Attributes
+    ----------
+    times:
+        ``(m,)`` strictly increasing timestamps.
+    positions:
+        ``(m, 2)`` positions at those timestamps; movement between
+        samples is linear.
+    """
+
+    times: np.ndarray
+    positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        positions = np.asarray(self.positions, dtype=float)
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "positions", positions)
+        if times.ndim != 1 or times.size < 1:
+            raise ConfigurationError(f"times must be 1-D non-empty, got {times.shape}")
+        if positions.shape != (times.size, 2):
+            raise ConfigurationError(
+                f"positions must be ({times.size}, 2), got {positions.shape}"
+            )
+        if times.size > 1 and np.any(np.diff(times) <= 0):
+            raise ConfigurationError("times must be strictly increasing")
+
+    @property
+    def duration(self) -> float:
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def length(self) -> float:
+        """Total path length."""
+        if self.times.size < 2:
+            return 0.0
+        seg = np.diff(self.positions, axis=0)
+        return float(np.hypot(seg[:, 0], seg[:, 1]).sum())
+
+    def at(self, t: float) -> np.ndarray:
+        """Linearly interpolated position at time ``t`` (clamped to ends)."""
+        return np.array(
+            [
+                np.interp(t, self.times, self.positions[:, 0]),
+                np.interp(t, self.times, self.positions[:, 1]),
+            ]
+        )
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Positions at many times, shape ``(len(times), 2)``."""
+        times = np.asarray(times, dtype=float)
+        return np.column_stack(
+            [
+                np.interp(times, self.times, self.positions[:, 0]),
+                np.interp(times, self.times, self.positions[:, 1]),
+            ]
+        )
+
+    def max_speed(self) -> float:
+        """Largest segment speed — must not exceed the tracker's v_max."""
+        if self.times.size < 2:
+            return 0.0
+        seg = np.diff(self.positions, axis=0)
+        dist = np.hypot(seg[:, 0], seg[:, 1])
+        dt = np.diff(self.times)
+        return float(np.max(dist / dt))
+
+    def compress_time(self, factor: float) -> "Trajectory":
+        """Divide the timeline by ``factor`` (the paper compresses x100)."""
+        if factor <= 0:
+            raise ConfigurationError(f"factor must be > 0, got {factor}")
+        t0 = self.times[0]
+        return Trajectory(
+            times=t0 + (self.times - t0) / factor, positions=self.positions.copy()
+        )
+
+    def shift_time(self, offset: float) -> "Trajectory":
+        return Trajectory(times=self.times + offset, positions=self.positions.copy())
+
+    def segment(self, start: float, end: float) -> "Trajectory":
+        """The sub-trajectory covering ``[start, end]`` (end-point interpolated)."""
+        if end <= start:
+            raise ConfigurationError(f"empty segment [{start}, {end}]")
+        if start < self.times[0] or end > self.times[-1]:
+            raise ConfigurationError(
+                f"segment [{start}, {end}] outside trajectory span "
+                f"[{self.times[0]}, {self.times[-1]}]"
+            )
+        inside = (self.times > start) & (self.times < end)
+        times = np.concatenate([[start], self.times[inside], [end]])
+        return Trajectory(times=times, positions=self.sample(times))

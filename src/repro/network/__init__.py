@@ -1,0 +1,26 @@
+"""Sensor-network substrate: deployment, connectivity, sniffer selection."""
+
+from repro.network.deployment import (
+    deploy_perturbed_grid,
+    deploy_poisson,
+    deploy_uniform_random,
+)
+from repro.network.graph import UnitDiskGraph
+from repro.network.topology import Network, build_network
+from repro.network.sampling import (
+    sample_sniffers_random,
+    sample_sniffers_stratified,
+    sample_sniffers_percentage,
+)
+
+__all__ = [
+    "deploy_perturbed_grid",
+    "deploy_uniform_random",
+    "deploy_poisson",
+    "UnitDiskGraph",
+    "Network",
+    "build_network",
+    "sample_sniffers_random",
+    "sample_sniffers_stratified",
+    "sample_sniffers_percentage",
+]

@@ -1,0 +1,13 @@
+"""Data-collection routing substrate.
+
+When a mobile user initiates a collection, a tree rooted at the sensor
+nearest the user spans the network (TAG-style convergecast [14]); each
+sensor's flux is the data it generates plus everything it relays —
+i.e. proportional to its subtree size.
+"""
+
+from repro.routing.tree import CollectionTree
+from repro.routing.spt import build_collection_tree
+from repro.routing.geographic import build_geographic_tree
+
+__all__ = ["CollectionTree", "build_collection_tree", "build_geographic_tree"]

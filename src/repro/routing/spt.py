@@ -1,0 +1,84 @@
+"""Shortest-path (BFS) collection-tree construction.
+
+The paper assumes each mobile user builds a data collection tree rooted
+at its current position spanning the network [10, 14]. We build a
+breadth-first shortest-path tree from the user's attach node. Hop ties
+are broken uniformly at random (per tree), which models the routing
+randomness the paper mitigates via neighborhood flux smoothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConnectivityError
+from repro.network.topology import Network
+from repro.routing.tree import CollectionTree
+from repro.util.rng import RandomState, as_generator
+
+
+def build_collection_tree(
+    network: Network,
+    sink_position: np.ndarray,
+    rng: RandomState = None,
+    require_connected: bool = False,
+    root: Optional[int] = None,
+) -> CollectionTree:
+    """Build a BFS collection tree rooted near ``sink_position``.
+
+    Parameters
+    ----------
+    network:
+        The deployed network.
+    sink_position:
+        The mobile user's physical position; the tree roots at the
+        nearest sensor (the node the user attaches to). Ignored when
+        ``root`` is given explicitly.
+    rng:
+        Controls random parent selection among equal-hop candidates.
+    require_connected:
+        If true, raise :class:`~repro.errors.ConnectivityError` when
+        some nodes are unreachable from the root.
+    root:
+        Optional explicit root index (overrides ``sink_position``).
+    """
+    if root is None:
+        root = network.nearest_node(np.asarray(sink_position, dtype=float))
+    elif not 0 <= root < network.node_count:
+        raise ConfigurationError(f"root {root} out of range")
+
+    gen = as_generator(rng)
+    graph = network.graph
+    n = network.node_count
+    hops = np.full(n, -1, dtype=np.int64)
+    parents = np.full(n, -1, dtype=np.int64)
+    hops[root] = 0
+    parents[root] = root
+
+    frontier = np.array([root], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        # For every unvisited neighbor of the frontier, collect all
+        # frontier nodes that could be its parent and pick one uniformly.
+        candidate_children: dict = {}
+        for u in frontier:
+            for v in graph.neighbors(int(u)):
+                if hops[v] < 0:
+                    candidate_children.setdefault(int(v), []).append(int(u))
+        if not candidate_children:
+            break
+        for child, candidates in candidate_children.items():
+            hops[child] = level
+            parents[child] = candidates[int(gen.integers(len(candidates)))]
+        frontier = np.fromiter(candidate_children.keys(), dtype=np.int64)
+
+    if require_connected and np.any(hops < 0):
+        unreachable = int(np.count_nonzero(hops < 0))
+        raise ConnectivityError(
+            f"{unreachable} node(s) unreachable from root {root}; "
+            "the network is disconnected"
+        )
+    return CollectionTree(root=root, parents=parents, hops=hops)

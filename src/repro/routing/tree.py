@@ -1,0 +1,100 @@
+"""Collection-tree representation and subtree aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CollectionTree:
+    """A rooted spanning tree over (a component of) the network.
+
+    Attributes
+    ----------
+    root:
+        Index of the root sensor (the user's attach node).
+    parents:
+        ``(n,)`` parent index per node; ``parents[root] == root`` and
+        unreachable nodes hold ``-1``.
+    hops:
+        ``(n,)`` hop count from the root; ``-1`` for unreachable nodes.
+    """
+
+    root: int
+    parents: np.ndarray
+    hops: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.parents.shape[0]
+        if self.hops.shape != (n,):
+            raise ConfigurationError(
+                f"parents {self.parents.shape} and hops {self.hops.shape} must match"
+            )
+        if not 0 <= self.root < n:
+            raise ConfigurationError(f"root {self.root} out of range for {n} nodes")
+        if self.parents[self.root] != self.root or self.hops[self.root] != 0:
+            raise ConfigurationError("root must be its own parent at hop 0")
+
+    @property
+    def node_count(self) -> int:
+        return self.parents.shape[0]
+
+    @property
+    def reachable(self) -> np.ndarray:
+        """Boolean mask of nodes covered by the tree."""
+        return self.hops >= 0
+
+    @property
+    def max_hops(self) -> int:
+        return int(self.hops.max())
+
+    def subtree_aggregate(self, weights: Optional[np.ndarray] = None) -> np.ndarray:
+        """Sum ``weights`` over each node's subtree (the per-node flux).
+
+        With unit weights this is the subtree size: exactly the number
+        of data units a node generates-plus-relays when every covered
+        sensor contributes one unit per collection round. Runs one
+        O(n) pass over nodes sorted by decreasing hop count — children
+        always precede parents, so a single accumulation suffices.
+
+        Unreachable nodes get aggregate 0.
+        """
+        n = self.node_count
+        if weights is None:
+            weights = np.ones(n)
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (n,):
+                raise ConfigurationError(
+                    f"weights must have shape ({n},), got {weights.shape}"
+                )
+        totals = np.where(self.reachable, weights, 0.0).astype(float)
+        order = np.argsort(self.hops)[::-1]  # deepest first
+        for node in order:
+            if self.hops[node] <= 0:  # root or unreachable
+                continue
+            totals[self.parents[node]] += totals[node]
+        return totals
+
+    def children_counts(self) -> np.ndarray:
+        """Number of direct children of each node."""
+        counts = np.zeros(self.node_count, dtype=np.int64)
+        mask = self.reachable & (np.arange(self.node_count) != self.root)
+        np.add.at(counts, self.parents[mask], 1)
+        return counts
+
+    def path_to_root(self, node: int) -> np.ndarray:
+        """The node sequence from ``node`` up to the root (inclusive)."""
+        if not 0 <= node < self.node_count:
+            raise ConfigurationError(f"node {node} out of range")
+        if self.hops[node] < 0:
+            raise ConfigurationError(f"node {node} is not covered by the tree")
+        path = [node]
+        while path[-1] != self.root:
+            path.append(int(self.parents[path[-1]]))
+        return np.asarray(path, dtype=np.int64)

@@ -1,0 +1,40 @@
+"""Core contribution #2: Sequential Monte Carlo tracking (Section IV.B-E).
+
+Implements the paper's Algorithm 4.1: per-user weighted sample sets
+are predicted forward with a uniform-disc motion kernel (Formula 4.2),
+filtered against each flux observation by NLS composition ranking, and
+re-weighted by recursive importance sampling (Formula 4.3), with
+asynchronous per-user updates when a user's best-fit stretch vanishes.
+"""
+
+from repro.smc.samples import UserSamples
+from repro.smc.prediction import predict_samples
+from repro.smc.weighting import importance_weights, effective_sample_size
+from repro.smc.tracker import (
+    SequentialMonteCarloTracker,
+    TrackerConfig,
+    TrackerStep,
+)
+from repro.smc.identity import IdentityAwareTracker
+from repro.smc.adaptive import adaptive_prediction_count
+from repro.smc.resampling import resample, systematic_resample
+from repro.smc.association import (
+    assignment_errors,
+    identity_consistency,
+)
+
+__all__ = [
+    "UserSamples",
+    "predict_samples",
+    "importance_weights",
+    "effective_sample_size",
+    "SequentialMonteCarloTracker",
+    "TrackerConfig",
+    "TrackerStep",
+    "IdentityAwareTracker",
+    "adaptive_prediction_count",
+    "resample",
+    "systematic_resample",
+    "assignment_errors",
+    "identity_consistency",
+]

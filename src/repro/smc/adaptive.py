@@ -1,0 +1,49 @@
+"""Adaptive prediction budgets (KLD-sampling-style).
+
+The paper draws a fixed N = 1000 predictive samples per user per
+round. Once a user's posterior has concentrated, far fewer samples
+cover the reachable disc at the same resolution. This helper picks a
+per-round prediction count from the current sample spread and the
+prediction radius, bounded to ``[min_count, max_count]`` — the SMC
+cost knob measured in the adaptive-budget bench.
+
+Heuristic: predictions must cover a disc of radius ``R + sigma``
+(reachable set around a posterior of spread ``sigma``) at a fixed
+spatial resolution ``sigma_floor``:
+
+    N ≈ ceil(density * (R + sigma)^2 / sigma_floor^2)
+
+clipped to the bounds. A broad posterior or a long silent period
+(large ``R = v_max * dt``) automatically gets more samples; a
+converged posterior with a short step gets few.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.smc.samples import UserSamples
+from repro.util.validation import check_positive
+
+
+def adaptive_prediction_count(
+    samples: UserSamples,
+    radius: float,
+    min_count: int = 100,
+    max_count: int = 1000,
+    density: float = 4.0,
+    sigma_floor: float = 0.5,
+) -> int:
+    """Prediction count proportional to the search-area/resolution ratio."""
+    check_positive("radius", radius)
+    check_positive("density", density)
+    check_positive("sigma_floor", sigma_floor)
+    if not 1 <= min_count <= max_count:
+        raise ConfigurationError(
+            f"need 1 <= min_count <= max_count, got {min_count}, {max_count}"
+        )
+    sigma = samples.spread()
+    ratio = (radius + sigma) ** 2 / sigma_floor**2
+    count = int(np.ceil(density * ratio))
+    return int(np.clip(count, min_count, max_count))

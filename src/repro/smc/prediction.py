@@ -1,0 +1,59 @@
+"""Prediction phase — the uniform-disc motion kernel of Formula 4.2.
+
+With only a maximum-speed bound ``v_max`` known, the transition
+density from a previous sample is uniform over the disc of radius
+``v_max * dt`` around it (zero beyond). Predicted samples that land
+outside the field are clipped onto it — users cannot leave the field.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.field import Field
+from repro.smc.samples import UserSamples
+from repro.util.validation import check_positive
+
+
+def predict_samples(
+    field: Field,
+    samples: UserSamples,
+    radius: float,
+    count: int,
+    rng: np.random.Generator,
+    method: str = "multinomial",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw ``count`` predictive samples from the disc kernel.
+
+    Parent samples are chosen *proportionally to their weights* (the
+    importance-sampling refinement of Section IV.D: heavier samples
+    seed more predictions), then each prediction is uniform in the
+    disc of radius ``radius`` around its parent.
+
+    Parameters
+    ----------
+    method:
+        Parent-selection scheme — ``"multinomial"`` (the paper's
+        implicit choice), ``"systematic"``, or ``"residual"``; see
+        :mod:`repro.smc.resampling`.
+
+    Returns
+    -------
+    ``(positions, parents)`` — ``(count, 2)`` predicted positions and
+    the ``(count,)`` parent sample indices (needed for the recursive
+    weight update of Formula 4.3).
+    """
+    from repro.smc.resampling import resample
+
+    check_positive("radius", radius)
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    parents = resample(method, samples.weights, count, rng)
+    radii = radius * np.sqrt(rng.uniform(size=count))
+    angles = rng.uniform(0.0, 2.0 * np.pi, size=count)
+    offsets = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+    positions = samples.positions[parents] + offsets
+    return field.clip(positions), parents

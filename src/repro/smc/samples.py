@@ -1,0 +1,80 @@
+"""Weighted sample sets representing one user's position posterior."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class UserSamples:
+    """The duples ``<P_t(i), w_t(i)>`` of paper Section IV.D for one user.
+
+    Attributes
+    ----------
+    positions:
+        ``(M, 2)`` sample positions approximating the posterior.
+    weights:
+        ``(M,)`` normalized importance weights.
+    t_last:
+        Time of this user's last accepted update (``t_last`` in
+        Algorithm 4.1); drives the growing prediction radius for
+        asynchronously silent users.
+    """
+
+    positions: np.ndarray
+    weights: np.ndarray
+    t_last: float
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=float)
+        self.weights = np.asarray(self.weights, dtype=float)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise ConfigurationError(
+                f"positions must be (M, 2), got {self.positions.shape}"
+            )
+        if self.weights.shape != (self.positions.shape[0],):
+            raise ConfigurationError(
+                f"weights {self.weights.shape} must match positions "
+                f"{self.positions.shape}"
+            )
+        if np.any(self.weights < 0) or not np.all(np.isfinite(self.weights)):
+            raise ConfigurationError("weights must be finite and non-negative")
+        total = float(self.weights.sum())
+        if total <= 0:
+            raise ConfigurationError("weights must not sum to zero")
+        self.weights = self.weights / total
+
+    @property
+    def count(self) -> int:
+        return self.positions.shape[0]
+
+    def estimate(self) -> np.ndarray:
+        """Weighted mean position — the point estimate reported per round."""
+        return (self.weights[:, None] * self.positions).sum(axis=0)
+
+    def spread(self) -> float:
+        """Weighted RMS distance of the samples from the estimate.
+
+        Shrinks as the posterior concentrates; a convergence
+        diagnostic for the Fig. 7 case studies.
+        """
+        est = self.estimate()
+        d2 = np.sum((self.positions - est[None, :]) ** 2, axis=1)
+        return float(np.sqrt((self.weights * d2).sum()))
+
+    @classmethod
+    def uniform_prior(
+        cls, field, count: int, rng: np.random.Generator, t0: float = 0.0
+    ) -> "UserSamples":
+        """Initialization of Algorithm 4.1: M uniform samples, equal weights."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        return cls(
+            positions=field.sample_uniform(count, rng),
+            weights=np.full(count, 1.0 / count),
+            t_last=float(t0),
+        )

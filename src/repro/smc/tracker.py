@@ -1,0 +1,294 @@
+"""The Sequential Monte Carlo tracker — paper Algorithm 4.1.
+
+Per observation window:
+
+1. **Prediction** — for each user, draw N candidate positions from
+   discs of radius ``v_max * (t - t_last)`` around the previous
+   samples (Formula 4.2).
+2. **Filtering** — rank the candidates by NLS objective against the
+   flux observation (coordinate-descent composition search; see
+   :mod:`repro.fingerprint.nls`) and keep the top M per user.
+3. **Asynchronous updating** — a user whose best-fit ``s/r``
+   vanishes did not collect in this window: its samples and
+   ``t_last`` stay untouched, so its next prediction radius grows.
+4. **Importance sampling** — surviving samples get weights
+   ``w_parent / (objective + eps)``, normalized (Formula 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TrackingError
+from repro.fingerprint.nls import coordinate_descent, forward_select_active
+from repro.fingerprint.objective import FluxObjective
+from repro.fluxmodel.discrete import DiscreteFluxModel
+from repro.geometry.field import Field
+from repro.smc.prediction import predict_samples
+from repro.smc.samples import UserSamples
+from repro.smc.weighting import importance_weights
+from repro.traffic.measurement import FluxObservation
+from repro.util.rng import RandomState, as_generator
+from repro.util.validation import check_positive
+
+
+@dataclass
+class TrackerConfig:
+    """Knobs of Algorithm 4.1 (defaults follow the paper's Section V.B).
+
+    Attributes
+    ----------
+    prediction_count:
+        N — predictive samples drawn per user per round (paper: 1000).
+    keep_count:
+        M — samples kept after filtering (paper: 10).
+    max_speed:
+        v_max — the only mobility knowledge assumed (paper: 5 per
+        detection interval).
+    theta_floor:
+        Best-fit ``s/r`` at or below this means "user did not collect
+        this round" (the paper's ``s_i/r -> 0`` test).
+    activity_tolerance:
+        Minimum relative fit improvement a user's inclusion must buy
+        in the forward-selection activity test
+        (:func:`repro.fingerprint.nls.forward_select_active`); users
+        below it are deemed silent this round.
+    d_floor:
+        Near-sink clamp of the flux model.
+    sweeps:
+        Coordinate-descent sweeps per filtering phase.
+    likelihood_epsilon:
+        Epsilon of the reciprocal-objective likelihood proxy.
+    resampling:
+        Parent-selection scheme for prediction (see
+        :mod:`repro.smc.resampling`).
+    adaptive_predictions:
+        Scale the per-round prediction count to the posterior spread
+        and prediction radius (:mod:`repro.smc.adaptive`);
+        ``prediction_count`` becomes the upper bound.
+    """
+
+    prediction_count: int = 1000
+    keep_count: int = 10
+    max_speed: float = 5.0
+    theta_floor: float = 1e-3
+    activity_tolerance: float = 0.15
+    d_floor: float = 1.0
+    sweeps: int = 3
+    likelihood_epsilon: float = 1e-9
+    resampling: str = "multinomial"
+    adaptive_predictions: bool = False
+
+    def __post_init__(self) -> None:
+        if self.resampling not in ("multinomial", "systematic", "residual"):
+            raise ConfigurationError(
+                f"unknown resampling {self.resampling!r}"
+            )
+        if self.prediction_count < 1:
+            raise ConfigurationError("prediction_count must be >= 1")
+        if not 1 <= self.keep_count <= self.prediction_count:
+            raise ConfigurationError(
+                "keep_count must be in [1, prediction_count], got "
+                f"{self.keep_count} vs {self.prediction_count}"
+            )
+        check_positive("max_speed", self.max_speed)
+        check_positive("theta_floor", self.theta_floor)
+        check_positive("activity_tolerance", self.activity_tolerance, strict=False)
+        check_positive("d_floor", self.d_floor)
+        if self.sweeps < 1:
+            raise ConfigurationError("sweeps must be >= 1")
+        check_positive("likelihood_epsilon", self.likelihood_epsilon)
+
+
+@dataclass
+class TrackerStep:
+    """Outcome of one observation round.
+
+    Attributes
+    ----------
+    time:
+        Window time of the observation.
+    estimates:
+        ``(K, 2)`` per-user position estimates (weighted sample means)
+        *after* this round — stale for users that were inactive.
+    active:
+        ``(K,)`` booleans: whether each user's samples were updated.
+    objective:
+        Best NLS objective of the round's incumbent composition
+        (NaN when every user was inactive).
+    sample_sets:
+        Snapshot of each user's current samples.
+    """
+
+    time: float
+    estimates: np.ndarray
+    active: np.ndarray
+    objective: float
+    sample_sets: List[UserSamples]
+
+
+class SequentialMonteCarloTracker:
+    """Tracks K mobile users from a stream of flux observations.
+
+    Parameters
+    ----------
+    field:
+        Deployment field.
+    sniffer_positions:
+        ``(n, 2)`` positions of the sniffed sensors; observations must
+        carry readings aligned to this set.
+    user_count:
+        K — may be chosen conservatively large (surplus users simply
+        stay inactive).
+    config:
+        Algorithm knobs; defaults follow the paper.
+    start_time:
+        Initialization time ``t_last = 0`` of Algorithm 4.1.
+    """
+
+    def __init__(
+        self,
+        field: Field,
+        sniffer_positions: np.ndarray,
+        user_count: int,
+        config: Optional[TrackerConfig] = None,
+        start_time: float = 0.0,
+        rng: RandomState = None,
+    ):
+        if user_count < 1:
+            raise ConfigurationError(f"user_count must be >= 1, got {user_count}")
+        self.field = field
+        self.config = config if config is not None else TrackerConfig()
+        self.user_count = user_count
+        self.model = DiscreteFluxModel(
+            field, np.asarray(sniffer_positions, dtype=float),
+            d_floor=self.config.d_floor,
+        )
+        self._rng = as_generator(rng)
+        # Initialization: M random positions, equal weights (Algorithm 4.1).
+        self.samples: List[UserSamples] = [
+            UserSamples.uniform_prior(
+                field, self.config.keep_count, self._rng, t0=start_time
+            )
+            for _ in range(user_count)
+        ]
+        self.history: List[TrackerStep] = []
+
+    # ------------------------------------------------------------------
+    def step(self, observation: FluxObservation) -> TrackerStep:
+        """Process one flux observation window (one iteration of Alg. 4.1)."""
+        cfg = self.config
+        t = float(observation.time)
+        objective = FluxObjective.from_observation(self.model, observation)
+
+        # Fast path: a silent window (zero flux) updates nobody.
+        if float(np.nansum(np.abs(observation.values))) <= 0.0:
+            step = self._inactive_step(t)
+            self.history.append(step)
+            return step
+
+        # Prediction phase.
+        pools: List[np.ndarray] = []
+        parent_idx: List[np.ndarray] = []
+        radii: List[float] = []
+        for user in range(self.user_count):
+            dt = max(t - self.samples[user].t_last, 1e-9)
+            radius = cfg.max_speed * dt
+            if cfg.adaptive_predictions:
+                from repro.smc.adaptive import adaptive_prediction_count
+
+                count = adaptive_prediction_count(
+                    self.samples[user],
+                    radius,
+                    min_count=min(100, cfg.prediction_count),
+                    max_count=cfg.prediction_count,
+                )
+            else:
+                count = cfg.prediction_count
+            positions, parents = predict_samples(
+                self.field,
+                self.samples[user],
+                radius,
+                count,
+                self._rng,
+                method=cfg.resampling,
+            )
+            pools.append(positions)
+            parent_idx.append(parents)
+            radii.append(radius)
+
+        # Filtering phase: composition search + per-user rankings.
+        outcome = coordinate_descent(
+            objective, pools, rng=self._rng, sweeps=cfg.sweeps
+        )
+
+        # Asynchronous updating: decide who actually collected. The
+        # paper's test is "best fit s/r -> 0"; operationally a user is
+        # active only if *adding* it to the model improves the fit
+        # substantially (see forward_select_active), plus the absolute
+        # theta floor.
+        incumbent_kernels = np.stack(
+            [
+                self.model.geometry_kernel(pools[u][outcome.best_indices[u]])
+                for u in range(self.user_count)
+            ]
+        )
+        active_mask, pruned_thetas, _ = forward_select_active(
+            objective, incumbent_kernels, min_improvement=cfg.activity_tolerance
+        )
+        active = np.zeros(self.user_count, dtype=bool)
+        for user in range(self.user_count):
+            if not active_mask[user] or pruned_thetas[user] <= cfg.theta_floor:
+                continue  # user silent this round
+            active[user] = True
+            objs = outcome.per_user_objectives[user]
+            keep = np.argsort(objs)[: cfg.keep_count]
+            weights = importance_weights(
+                self.samples[user].weights,
+                parent_idx[user][keep],
+                objs[keep],
+                epsilon=cfg.likelihood_epsilon,
+            )
+            self.samples[user] = UserSamples(
+                positions=pools[user][keep],
+                weights=weights,
+                t_last=t,
+            )
+
+        estimates = np.stack([s.estimate() for s in self.samples])
+        step = TrackerStep(
+            time=t,
+            estimates=estimates,
+            active=active,
+            objective=float(outcome.best_objective),
+            sample_sets=[s for s in self.samples],
+        )
+        self.history.append(step)
+        return step
+
+    def _inactive_step(self, t: float) -> TrackerStep:
+        estimates = np.stack([s.estimate() for s in self.samples])
+        return TrackerStep(
+            time=t,
+            estimates=estimates,
+            active=np.zeros(self.user_count, dtype=bool),
+            objective=float("nan"),
+            sample_sets=[s for s in self.samples],
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, observations: Sequence[FluxObservation]) -> List[TrackerStep]:
+        """Process a time-ordered observation stream; returns all steps."""
+        if not observations:
+            raise TrackingError("run() needs at least one observation")
+        times = [o.time for o in observations]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise TrackingError("observations must be time-ordered")
+        return [self.step(o) for o in observations]
+
+    def estimates(self) -> np.ndarray:
+        """Current ``(K, 2)`` per-user position estimates."""
+        return np.stack([s.estimate() for s in self.samples])

@@ -1,0 +1,69 @@
+"""Importance weighting — paper Formula 4.3.
+
+``w_t(i)' = w_{t-1}(parent(i)) * P(o_t | P_t(i))`` followed by
+normalization. The observation likelihood is approximated by the
+reciprocal of the minimum NLS objective achieved by sample ``i``
+("a smaller deviation between the predicted and observed network flux
+values implies a larger observation probability").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def importance_weights(
+    parent_weights: np.ndarray,
+    parents: np.ndarray,
+    objectives: np.ndarray,
+    epsilon: float = 1e-9,
+) -> np.ndarray:
+    """Compute normalized recursive importance weights.
+
+    Parameters
+    ----------
+    parent_weights:
+        ``(M,)`` previous-round weights.
+    parents:
+        ``(N,)`` parent index of each new sample.
+    objectives:
+        ``(N,)`` minimum NLS objective of each new sample; the
+        likelihood proxy is ``1 / (objective + epsilon)``.
+    epsilon:
+        Guards against division by zero for perfect fits.
+
+    Returns
+    -------
+    ``(N,)`` weights summing to 1.
+    """
+    parent_weights = np.asarray(parent_weights, dtype=float)
+    parents = np.asarray(parents, dtype=np.int64)
+    objectives = np.asarray(objectives, dtype=float)
+    if parents.shape != objectives.shape:
+        raise ConfigurationError(
+            f"parents {parents.shape} and objectives {objectives.shape} must match"
+        )
+    if np.any(objectives < 0):
+        raise ConfigurationError("objectives must be non-negative")
+    if epsilon <= 0:
+        raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
+    likelihood = 1.0 / (objectives + epsilon)
+    raw = parent_weights[parents] * likelihood
+    total = float(raw.sum())
+    if total <= 0 or not np.isfinite(total):
+        # Degenerate round: fall back to likelihood-only weights.
+        raw = likelihood
+        total = float(raw.sum())
+    return raw / total
+
+
+def effective_sample_size(weights: np.ndarray) -> float:
+    """Kish effective sample size ``1 / sum(w^2)`` — degeneracy diagnostic."""
+    weights = np.asarray(weights, dtype=float)
+    total = float(weights.sum())
+    if total <= 0:
+        raise ConfigurationError("weights must not sum to zero")
+    w = weights / total
+    return float(1.0 / np.sum(w * w))

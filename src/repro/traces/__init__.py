@@ -1,0 +1,33 @@
+"""Synthetic campus mobility traces (substitution for Dartmouth v1.3).
+
+The paper's trace-driven experiment (Section V.C) uses the
+"movement" portion of the Dartmouth Wireless-Network Traces [8]:
+syslog-derived sequences of (timestamp, access point) associations per
+wireless card, spanning 2001-2004, with ~500 APs of which 50 inside a
+rectangular region serve as location landmarks. That dataset is not
+redistributable here, so this package generates statistically similar
+records: users dwell at APs with heavy-tailed dwell times and hop to
+spatially nearby APs over multi-month timelines, emitted in a
+syslog-like line format and parsed back exactly as the real set would
+be. The attack pipeline consumes only (user -> timestamped AP-position
+sequence), which this generator reproduces end-to-end.
+"""
+
+from repro.traces.aps import AccessPoint, generate_campus_aps, select_rectangular_region
+from repro.traces.synthetic import SyntheticTraceConfig, generate_syslog_records
+from repro.traces.parser import parse_syslog_records
+from repro.traces.mobility_convert import associations_to_trajectory, scale_to_field
+from repro.traces.dataset import TraceDataset, build_synthetic_dataset
+
+__all__ = [
+    "AccessPoint",
+    "generate_campus_aps",
+    "select_rectangular_region",
+    "SyntheticTraceConfig",
+    "generate_syslog_records",
+    "parse_syslog_records",
+    "associations_to_trajectory",
+    "scale_to_field",
+    "TraceDataset",
+    "build_synthetic_dataset",
+]

@@ -1,0 +1,108 @@
+"""AP association sequences -> field-space mobility trajectories.
+
+The paper concatenates the locations of a card's associated APs into a
+mobility path, intercepts a segment of each record, compresses the
+timeline by a factor of 100, and maps everything onto the 30x30
+simulation field.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TraceError
+from repro.geometry.field import Field
+from repro.mobility.trajectory import Trajectory
+from repro.traces.aps import AccessPoint
+from repro.traces.parser import Association
+from repro.util.validation import check_positive
+
+
+def associations_to_trajectory(
+    associations: Sequence[Association],
+    ap_positions: Dict[str, Tuple[float, float]],
+    drop_unknown: bool = True,
+) -> Trajectory:
+    """Concatenate AP locations into a timestamped path.
+
+    Consecutive events at identical timestamps are deduplicated (keep
+    the last); events at APs not in ``ap_positions`` (outside the
+    landmark region) are dropped when ``drop_unknown``, else raise.
+    """
+    if not associations:
+        raise TraceError("empty association sequence")
+    times: List[float] = []
+    points: List[Tuple[float, float]] = []
+    for ts, ap in associations:
+        if ap not in ap_positions:
+            if drop_unknown:
+                continue
+            raise TraceError(f"AP {ap!r} has no known position")
+        if times and ts <= times[-1]:
+            if ts == times[-1]:
+                points[-1] = ap_positions[ap]
+                continue
+            raise TraceError("associations must be time-sorted")
+        times.append(float(ts))
+        points.append(ap_positions[ap])
+    if len(times) < 2:
+        raise TraceError(
+            "fewer than two in-region associations; cannot form a path"
+        )
+    return Trajectory(times=np.asarray(times), positions=np.asarray(points))
+
+
+def scale_to_field(
+    trajectory: Trajectory,
+    source_rect: Tuple[float, float, float, float],
+    field: Field,
+) -> Trajectory:
+    """Affinely map a campus-space trajectory onto the simulation field."""
+    xmin, ymin, xmax, ymax = source_rect
+    if xmax <= xmin or ymax <= ymin:
+        raise ConfigurationError(f"degenerate source rect {source_rect}")
+    fxmin, fymin, fxmax, fymax = field.bounding_box
+    sx = (fxmax - fxmin) / (xmax - xmin)
+    sy = (fymax - fymin) / (ymax - ymin)
+    pts = trajectory.positions.copy()
+    pts[:, 0] = fxmin + (pts[:, 0] - xmin) * sx
+    pts[:, 1] = fymin + (pts[:, 1] - ymin) * sy
+    pts = field.clip(pts)
+    return Trajectory(times=trajectory.times.copy(), positions=pts)
+
+
+def intercept_and_compress(
+    trajectory: Trajectory,
+    segment_duration: float,
+    compression: float = 100.0,
+    start_fraction: float = 0.0,
+) -> Trajectory:
+    """Intercept a segment and compress its timeline (paper: x100).
+
+    Parameters
+    ----------
+    segment_duration:
+        Length (in original time units) of the intercepted segment.
+    compression:
+        Timeline division factor.
+    start_fraction:
+        Where in the record the segment starts, as a fraction of the
+        feasible range (0 = beginning).
+    """
+    check_positive("segment_duration", segment_duration)
+    check_positive("compression", compression)
+    if not 0.0 <= start_fraction <= 1.0:
+        raise ConfigurationError(
+            f"start_fraction must be in [0,1], got {start_fraction}"
+        )
+    span = trajectory.duration
+    if span <= 0:
+        raise TraceError("trajectory has zero duration")
+    seg = min(segment_duration, span)
+    latest_start = trajectory.times[0] + (span - seg)
+    start = trajectory.times[0] + start_fraction * (latest_start - trajectory.times[0])
+    segment = trajectory.segment(float(start), float(start + seg))
+    compressed = segment.compress_time(compression)
+    return compressed.shift_time(-compressed.times[0])

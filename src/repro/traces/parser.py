@@ -1,0 +1,53 @@
+"""Parser for syslog-style association records.
+
+Inverse of :mod:`repro.traces.synthetic`: turns raw record lines back
+into per-card timestamped AP association sequences, skipping
+``disassoc`` events (only associations position a user, as in the
+paper's use of the movement set).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import TraceError
+
+#: One association: (timestamp_seconds, ap_name).
+Association = Tuple[float, str]
+
+
+def parse_syslog_records(
+    lines: Iterable[str], include_events: Tuple[str, ...] = ("assoc", "reassoc")
+) -> Dict[str, List[Association]]:
+    """Parse record lines into ``{mac: [(time, ap_name), ...]}``.
+
+    Lines must be tab-separated ``time \\t mac \\t ap \\t event``;
+    malformed lines raise :class:`~repro.errors.TraceError` with the
+    offending line number. Sequences come back time-sorted per card.
+    """
+    out: Dict[str, List[Association]] = {}
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 4:
+            raise TraceError(
+                f"line {lineno}: expected 4 tab-separated fields, got {len(parts)}"
+            )
+        ts_str, mac, ap, event = parts
+        try:
+            ts = float(ts_str)
+        except ValueError as exc:
+            raise TraceError(f"line {lineno}: bad timestamp {ts_str!r}") from exc
+        if not mac or not ap or not event:
+            raise TraceError(f"line {lineno}: empty field")
+        if event not in ("assoc", "reassoc", "disassoc"):
+            raise TraceError(f"line {lineno}: unknown event {event!r}")
+        if event in include_events:
+            out.setdefault(mac, []).append((ts, ap))
+    for mac in out:
+        out[mac].sort(key=lambda a: a[0])
+    if not out:
+        raise TraceError("no association records parsed")
+    return out

@@ -1,0 +1,53 @@
+"""Traffic substrate: who collects when, and what flux it induces.
+
+``F = sum_i F_i`` — the observable per-node flux is the superposition
+of the convergecast traffic of every active mobile user in the current
+measurement window (paper Section III.A).
+"""
+
+from repro.traffic.events import (
+    CollectionEvent,
+    CollectionSchedule,
+    poisson_schedule,
+    synchronous_schedule,
+)
+from repro.traffic.stretch import (
+    StretchModel,
+    UniformStretch,
+    RandomStretch,
+    PerNodeInterestStretch,
+)
+from repro.traffic.flux import FluxSimulator, simulate_flux
+from repro.traffic.smoothing import smooth_flux
+from repro.traffic.aggregation import aggregated_subtree_flux
+from repro.traffic.lossy import lossy_subtree_flux
+from repro.traffic.measurement import (
+    DropoutNoise,
+    GaussianNoise,
+    FluxObservation,
+    MeasurementModel,
+    NoiseModel,
+    NoNoise,
+)
+
+__all__ = [
+    "CollectionEvent",
+    "CollectionSchedule",
+    "synchronous_schedule",
+    "poisson_schedule",
+    "StretchModel",
+    "UniformStretch",
+    "RandomStretch",
+    "PerNodeInterestStretch",
+    "FluxSimulator",
+    "simulate_flux",
+    "smooth_flux",
+    "aggregated_subtree_flux",
+    "lossy_subtree_flux",
+    "MeasurementModel",
+    "FluxObservation",
+    "NoiseModel",
+    "NoNoise",
+    "GaussianNoise",
+    "DropoutNoise",
+]

@@ -1,0 +1,58 @@
+"""In-network aggregation traffic (TAG-style [14]) — attack robustness.
+
+The flux model assumes *raw* convergecast: every relayed unit stays a
+unit, so flux equals subtree mass. TAG-style aggregation compresses
+data in the network — a node forwards ``own + compress(children)``
+rather than the full subtree. This flattens the flux fingerprint and
+is therefore both a realism knob and an implicit defense; the
+robustness bench measures how much aggregation degrades the attack.
+
+``aggregation_factor = 1`` reproduces raw convergecast; ``0`` is full
+aggregation (every node forwards exactly one unit regardless of
+subtree size). Intermediate values interpolate: a node's flux is
+
+    F(v) = own(v) + factor * sum_children F(c) + (1 - factor) * |children| * unit
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.routing.tree import CollectionTree
+from repro.util.validation import check_probability
+
+
+def aggregated_subtree_flux(
+    tree: CollectionTree,
+    weights: np.ndarray,
+    aggregation_factor: float,
+) -> np.ndarray:
+    """Per-node flux under partial in-network aggregation.
+
+    Parameters
+    ----------
+    weights:
+        ``(n,)`` per-node generated data (the stretch).
+    aggregation_factor:
+        1.0 = raw convergecast (flux == subtree aggregate);
+        0.0 = each child's entire subtree compresses to that child's
+        own weight before being relayed.
+    """
+    check_probability("aggregation_factor", aggregation_factor)
+    weights = np.asarray(weights, dtype=float)
+    n = tree.node_count
+    if weights.shape != (n,):
+        raise ConfigurationError(f"weights must have shape ({n},)")
+
+    flux = np.where(tree.reachable, weights, 0.0).astype(float)
+    order = np.argsort(tree.hops)[::-1]  # deepest first
+    f = float(aggregation_factor)
+    for node in order:
+        if tree.hops[node] <= 0:
+            continue
+        parent = tree.parents[node]
+        # The parent relays an interpolation between the child's full
+        # flux (raw) and just the child's own generation (aggregated).
+        flux[parent] += f * flux[node] + (1.0 - f) * weights[node]
+    return flux

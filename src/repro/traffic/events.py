@@ -1,0 +1,187 @@
+"""Collection events and schedules.
+
+Each mobile user ``i`` collects data at its own time series
+``[t_1, t_2, ...]`` from positions ``[p_1, p_2, ...]`` (paper §III.A).
+A :class:`CollectionEvent` is one (user, time, position, stretch)
+tuple; a :class:`CollectionSchedule` is the multiset of events, sliced
+into measurement windows of width ``delta_t`` by the flux simulator.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.rng import RandomState, as_generator
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CollectionEvent:
+    """One data collection initiated by one mobile user."""
+
+    user: int
+    time: float
+    position: Tuple[float, float]
+    stretch: float
+
+    def __post_init__(self) -> None:
+        if self.user < 0:
+            raise ConfigurationError(f"user id must be >= 0, got {self.user}")
+        if not np.isfinite(self.time):
+            raise ConfigurationError(f"event time must be finite, got {self.time}")
+        if not (np.isfinite(self.stretch) and self.stretch >= 0):
+            raise ConfigurationError(
+                f"stretch must be finite and >= 0, got {self.stretch}"
+            )
+
+
+class CollectionSchedule:
+    """Time-ordered multiset of collection events across all users."""
+
+    def __init__(self, events: Iterable[CollectionEvent]):
+        self.events: List[CollectionEvent] = sorted(events, key=lambda e: e.time)
+        self._times = [e.time for e in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def users(self) -> List[int]:
+        """Sorted distinct user ids appearing in the schedule."""
+        return sorted({e.user for e in self.events})
+
+    @property
+    def time_span(self) -> Tuple[float, float]:
+        if not self.events:
+            raise ConfigurationError("schedule is empty")
+        return self._times[0], self._times[-1]
+
+    def events_in_window(self, start: float, end: float) -> List[CollectionEvent]:
+        """Events with ``start <= time < end`` (right-open windows)."""
+        if end < start:
+            raise ConfigurationError(f"window end {end} precedes start {start}")
+        lo = bisect_left(self._times, start)
+        hi = bisect_left(self._times, end)
+        return self.events[lo:hi]
+
+    def windows(self, delta_t: float, start: Optional[float] = None,
+                end: Optional[float] = None) -> List[Tuple[float, List[CollectionEvent]]]:
+        """Slice the schedule into consecutive ``delta_t`` windows.
+
+        Returns ``[(window_start, events), ...]`` covering
+        ``[start, end)``; empty windows are included because the
+        tracker must still advance time for asynchronous updating.
+        """
+        check_positive("delta_t", delta_t)
+        t0, t1 = self.time_span
+        start = t0 if start is None else float(start)
+        end = t1 + delta_t if end is None else float(end)
+        if end <= start:
+            raise ConfigurationError("window range is empty")
+        out: List[Tuple[float, List[CollectionEvent]]] = []
+        t = start
+        while t < end:
+            out.append((t, self.events_in_window(t, t + delta_t)))
+            t += delta_t
+        return out
+
+    def user_events(self, user: int) -> List[CollectionEvent]:
+        return [e for e in self.events if e.user == user]
+
+
+def synchronous_schedule(
+    trajectories: Sequence[np.ndarray],
+    stretches: Sequence[float],
+    delta_t: float = 1.0,
+    start: float = 0.0,
+) -> CollectionSchedule:
+    """All users collect simultaneously once per round (paper §V.B).
+
+    Parameters
+    ----------
+    trajectories:
+        Per-user ``(rounds, 2)`` position arrays; all must have equal
+        length — round ``k`` happens at time ``start + k * delta_t``.
+    stretches:
+        Per-user constant traffic stretch.
+    """
+    check_positive("delta_t", delta_t)
+    if len(trajectories) != len(stretches):
+        raise ConfigurationError(
+            f"{len(trajectories)} trajectories but {len(stretches)} stretches"
+        )
+    if not trajectories:
+        raise ConfigurationError("need at least one user")
+    rounds = {np.asarray(tr).shape[0] for tr in trajectories}
+    if len(rounds) != 1:
+        raise ConfigurationError(
+            f"all trajectories must have the same number of rounds, got {rounds}"
+        )
+    events = []
+    for user, (traj, s) in enumerate(zip(trajectories, stretches)):
+        traj = np.asarray(traj, dtype=float)
+        for k in range(traj.shape[0]):
+            events.append(
+                CollectionEvent(
+                    user=user,
+                    time=start + k * delta_t,
+                    position=(float(traj[k, 0]), float(traj[k, 1])),
+                    stretch=float(s),
+                )
+            )
+    return CollectionSchedule(events)
+
+
+def poisson_schedule(
+    trajectories: Sequence[np.ndarray],
+    trajectory_times: Sequence[np.ndarray],
+    stretches: Sequence[float],
+    rate: float,
+    horizon: float,
+    rng: RandomState = None,
+) -> CollectionSchedule:
+    """Users collect at independent Poisson times (asynchronous setting).
+
+    Positions at event times are linearly interpolated from each user's
+    timestamped trajectory. Models the paper's observation that real
+    users collect "at their own will", so at any window only a few are
+    active (§V.C discussion).
+    """
+    check_positive("rate", rate)
+    check_positive("horizon", horizon)
+    if not (len(trajectories) == len(trajectory_times) == len(stretches)):
+        raise ConfigurationError("trajectories, times and stretches must align")
+    gen = as_generator(rng)
+    events = []
+    for user, (traj, times, s) in enumerate(
+        zip(trajectories, trajectory_times, stretches)
+    ):
+        traj = np.asarray(traj, dtype=float)
+        times = np.asarray(times, dtype=float)
+        if traj.shape[0] != times.shape[0]:
+            raise ConfigurationError(
+                f"user {user}: trajectory and times lengths differ"
+            )
+        t = 0.0
+        while True:
+            t += float(gen.exponential(1.0 / rate))
+            if t >= horizon:
+                break
+            x = float(np.interp(t, times, traj[:, 0]))
+            y = float(np.interp(t, times, traj[:, 1]))
+            events.append(
+                CollectionEvent(user=user, time=t, position=(x, y), stretch=float(s))
+            )
+    if not events:
+        raise ConfigurationError(
+            "Poisson schedule produced no events; increase rate or horizon"
+        )
+    return CollectionSchedule(events)

@@ -1,0 +1,89 @@
+"""Ground-truth flux simulation.
+
+For each collection event a BFS tree is built from the user's attach
+node and every covered sensor contributes ``stretch`` data units; a
+node's flux for that event is the subtree total (generate + relay).
+Fluxes of concurrent events superpose: ``F = sum_i F_i`` (§III.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.topology import Network
+from repro.routing.spt import build_collection_tree
+from repro.traffic.events import CollectionEvent
+from repro.util.rng import RandomState, as_generator
+
+
+@dataclass
+class FluxBreakdown:
+    """Total flux plus the per-user shares (ground truth only).
+
+    The adversary can never observe ``per_user`` — it exists so tests
+    can verify superposition and briefing can be validated.
+    """
+
+    total: np.ndarray
+    per_user: dict  # user id -> (n,) flux array
+
+
+class FluxSimulator:
+    """Simulates per-node flux for sets of concurrent collection events."""
+
+    def __init__(self, network: Network, rng: RandomState = None):
+        self.network = network
+        self._rng = as_generator(rng)
+
+    def event_flux(self, event: CollectionEvent) -> np.ndarray:
+        """Per-node flux induced by a single collection event."""
+        tree = build_collection_tree(
+            self.network, np.asarray(event.position), rng=self._rng
+        )
+        weights = np.full(self.network.node_count, event.stretch, dtype=float)
+        return tree.subtree_aggregate(weights)
+
+    def window_flux(self, events: Iterable[CollectionEvent]) -> FluxBreakdown:
+        """Superposed flux of all events in one measurement window."""
+        total = np.zeros(self.network.node_count)
+        per_user: dict = {}
+        for event in events:
+            flux = self.event_flux(event)
+            total += flux
+            if event.user in per_user:
+                per_user[event.user] = per_user[event.user] + flux
+            else:
+                per_user[event.user] = flux
+        return FluxBreakdown(total=total, per_user=per_user)
+
+
+def simulate_flux(
+    network: Network,
+    sink_positions: Sequence[np.ndarray],
+    stretches: Sequence[float],
+    rng: RandomState = None,
+) -> np.ndarray:
+    """Convenience: total flux for users at ``sink_positions`` now.
+
+    Equivalent to one synchronous measurement window in which every
+    user collects once.
+    """
+    if len(sink_positions) != len(stretches):
+        raise ConfigurationError(
+            f"{len(sink_positions)} positions but {len(stretches)} stretches"
+        )
+    sim = FluxSimulator(network, rng=rng)
+    events = [
+        CollectionEvent(
+            user=i,
+            time=0.0,
+            position=(float(p[0]), float(p[1])),
+            stretch=float(s),
+        )
+        for i, (p, s) in enumerate(zip(sink_positions, stretches))
+    ]
+    return sim.window_flux(events).total

@@ -1,0 +1,118 @@
+"""Binary persistence of networks and observations (npz).
+
+Experiments that sweep many attack configurations over the *same*
+deployment can save the network once and reload it; observation logs
+can be archived for offline re-analysis.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.field import CircularField, Field, RectangularField
+from repro.network.graph import UnitDiskGraph
+from repro.network.topology import Network
+from repro.traffic.measurement import FluxObservation
+
+_PathLike = Union[str, Path]
+
+
+def save_network(network: Network, path: _PathLike) -> Path:
+    """Serialize a network (field + positions + radius) to ``.npz``.
+
+    Only rectangular and circular fields are supported (polygon fields
+    would need vertex serialization; add when needed).
+    """
+    field = network.field
+    if isinstance(field, RectangularField):
+        field_kind = "rectangular"
+        field_params = np.array(
+            [field.width, field.height, field.xmin, field.ymin]
+        )
+    elif isinstance(field, CircularField):
+        field_kind = "circular"
+        field_params = np.array(
+            [field.radius, field.center[0], field.center[1], 0.0]
+        )
+    else:
+        raise ConfigurationError(
+            f"cannot serialize field type {type(field).__name__}"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        field_kind=np.array(field_kind),
+        field_params=field_params,
+        positions=network.positions,
+        radius=np.array([network.radius]),
+    )
+    return path
+
+
+def load_network(path: _PathLike) -> Network:
+    """Load a network saved by :func:`save_network` (graph is rebuilt)."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        kind = str(data["field_kind"])
+        params = data["field_params"]
+        positions = data["positions"]
+        radius = float(data["radius"][0])
+    if kind == "rectangular":
+        field: Field = RectangularField(
+            float(params[0]), float(params[1]),
+            origin=(float(params[2]), float(params[3])),
+        )
+    elif kind == "circular":
+        field = CircularField(
+            float(params[0]), center=(float(params[1]), float(params[2]))
+        )
+    else:
+        raise ConfigurationError(f"unknown field kind {kind!r} in {path}")
+    return Network(
+        field=field, positions=positions, graph=UnitDiskGraph(positions, radius)
+    )
+
+
+def save_observations(
+    observations: List[FluxObservation], path: _PathLike
+) -> Path:
+    """Archive an observation stream to ``.npz``.
+
+    All observations must share the same sniffer set (the normal case:
+    one adversary deployment).
+    """
+    if not observations:
+        raise ConfigurationError("need at least one observation")
+    sniffers = observations[0].sniffers
+    for obs in observations[1:]:
+        if not np.array_equal(obs.sniffers, sniffers):
+            raise ConfigurationError(
+                "all observations must share one sniffer set"
+            )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        sniffers=sniffers,
+        times=np.array([obs.time for obs in observations]),
+        values=np.stack([obs.values for obs in observations]),
+    )
+    return path
+
+
+def load_observations(path: _PathLike) -> List[FluxObservation]:
+    """Load an observation stream saved by :func:`save_observations`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        sniffers = data["sniffers"]
+        times = data["times"]
+        values = data["values"]
+    return [
+        FluxObservation(
+            time=float(times[i]), sniffers=sniffers.copy(), values=values[i]
+        )
+        for i in range(times.shape[0])
+    ]

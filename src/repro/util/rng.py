@@ -1,0 +1,53 @@
+"""Random-number-generator discipline.
+
+Every stochastic component in the library accepts a ``rng`` argument
+that may be ``None`` (fresh entropy), an integer seed, or an existing
+:class:`numpy.random.Generator`. :func:`as_generator` normalizes all
+three. Components that run concurrent sub-experiments derive
+independent child generators via :func:`spawn_generators` so that
+experiment repetitions are statistically independent yet reproducible
+from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+#: The union of accepted RNG specifications throughout the library.
+RandomState = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(rng: RandomState = None) -> np.random.Generator:
+    """Normalize ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for OS entropy, an ``int`` seed, a ``SeedSequence``, or
+        an existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(rng)
+    raise TypeError(
+        f"rng must be None, int, SeedSequence or numpy Generator, got {type(rng)!r}"
+    )
+
+
+def spawn_generators(rng: RandomState, count: int) -> list:
+    """Derive ``count`` statistically independent child generators.
+
+    The children are derived through ``SeedSequence.spawn`` semantics:
+    reproducible when ``rng`` is a seed, independent of each other, and
+    independent of subsequent draws from the parent.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    parent = as_generator(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(np.random.SeedSequence(int(s))) for s in seeds]

@@ -1,0 +1,48 @@
+"""Serialization of experiment results.
+
+Experiment runners produce nested dicts/dataclasses containing numpy
+scalars and arrays; these helpers turn them into plain-JSON structures
+so results can be archived next to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+
+def _to_jsonable(obj: Any) -> Any:
+    import numpy as np
+
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): _to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return _to_jsonable(obj.tolist())
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, Path):
+        return str(obj)
+    return obj
+
+
+def results_to_json(results: Any, indent: int = 2) -> str:
+    """Render ``results`` (dicts/dataclasses/arrays) as a JSON string."""
+    return json.dumps(_to_jsonable(results), indent=indent, sort_keys=True)
+
+
+def save_results_json(results: Any, path: Union[str, Path]) -> Path:
+    """Write ``results`` as JSON to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(results_to_json(results) + "\n")
+    return path

@@ -1,0 +1,90 @@
+"""Statistics helpers used by the evaluation harness.
+
+The paper reports empirical CDFs of model approximation error
+(Fig. 3a) and mean localization/tracking errors across repeated runs
+(Figs. 5-8, 10); these helpers compute exactly those aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-plus summary of a sample of scalar measurements."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} med={self.median:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: np.ndarray) -> SummaryStats:
+    """Summarize a 1-D sample into :class:`SummaryStats`."""
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ConfigurationError("cannot summarize an empty sample")
+    return SummaryStats(
+        count=int(values.size),
+        mean=float(np.mean(values)),
+        std=float(np.std(values)),
+        minimum=float(np.min(values)),
+        median=float(np.median(values)),
+        maximum=float(np.max(values)),
+    )
+
+
+def empirical_cdf(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_fraction)`` for a 1-D sample.
+
+    ``cumulative_fraction[i]`` is the fraction of samples ``<=
+    sorted_values[i]`` — the standard right-continuous empirical CDF
+    plotted in the paper's Fig. 3(a).
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ConfigurationError("cannot compute the CDF of an empty sample")
+    xs = np.sort(values)
+    fractions = np.arange(1, xs.size + 1, dtype=float) / xs.size
+    return xs, fractions
+
+
+def cdf_at(values: np.ndarray, threshold: float) -> float:
+    """Fraction of ``values`` that are ``<= threshold``."""
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ConfigurationError("cannot evaluate the CDF of an empty sample")
+    return float(np.count_nonzero(values <= threshold)) / values.size
+
+
+def mean_confidence_interval(
+    values: np.ndarray, confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """Return ``(mean, low, high)`` — a normal-approximation CI on the mean."""
+    from scipy import stats as sps
+
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ConfigurationError("cannot compute a CI on an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0,1), got {confidence}")
+    mean = float(np.mean(values))
+    if values.size == 1:
+        return mean, mean, mean
+    sem = float(sps.sem(values))
+    half = sem * float(sps.t.ppf((1.0 + confidence) / 2.0, values.size - 1))
+    return mean, mean - half, mean + half

@@ -1,0 +1,18 @@
+"""Dependency-free text visualization.
+
+The paper's figures are spatial: flux heat maps (Figs. 1, 4),
+prediction scatters (Fig. 5), trajectories (Fig. 7), CDFs (Fig. 3a).
+These helpers render all of them as terminal text so examples and CLI
+commands can *show* the attack without a plotting stack.
+"""
+
+from repro.viz.heatmap import render_flux_heatmap
+from repro.viz.scatter import render_positions
+from repro.viz.curves import render_cdf, render_series
+
+__all__ = [
+    "render_flux_heatmap",
+    "render_positions",
+    "render_cdf",
+    "render_series",
+]

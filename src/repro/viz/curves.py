@@ -1,0 +1,75 @@
+"""ASCII line/CDF plots (paper Figs. 3a, 6, 8, 10 as text)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.stats import empirical_cdf
+
+
+def render_series(
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more (x, y) series on shared axes.
+
+    Each series gets the first character of its name as glyph.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if width < 8 or height < 4:
+        raise ConfigurationError("plot too small")
+
+    all_x = np.concatenate([np.asarray(x, float) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, float) for _, y in series.values()])
+    if all_x.size == 0:
+        raise ConfigurationError("series are empty")
+    xlo, xhi = float(all_x.min()), float(all_x.max())
+    ylo, yhi = float(all_y.min()), float(all_y.max())
+    xspan = max(xhi - xlo, 1e-12)
+    yspan = max(yhi - ylo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, (xs, ys) in series.items():
+        glyph = name[0]
+        xs = np.asarray(xs, float)
+        ys = np.asarray(ys, float)
+        if xs.shape != ys.shape:
+            raise ConfigurationError(f"series {name!r}: x/y length mismatch")
+        for x, y in zip(xs, ys):
+            col = int(np.clip((x - xlo) / xspan * (width - 1), 0, width - 1))
+            row = int(np.clip((y - ylo) / yspan * (height - 1), 0, height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = ["".join(row) for row in grid]
+    top = f"{yhi:.3g}"
+    bottom = f"{ylo:.3g}"
+    body = "\n".join(
+        (top if i == 0 else bottom if i == height - 1 else "").rjust(8)
+        + " |" + line
+        for i, line in enumerate(lines)
+    )
+    axis = " " * 9 + "+" + "-" * width
+    xaxis = " " * 10 + f"{xlo:.3g}".ljust(width - 8) + f"{xhi:.3g}"
+    legend = "  ".join(f"{name[0]} = {name}" for name in series)
+    parts = [body, axis, xaxis, " " * 10 + legend]
+    if y_label:
+        parts.insert(0, f"{y_label} vs {x_label}" if x_label else y_label)
+    return "\n".join(parts)
+
+
+def render_cdf(
+    samples: Dict[str, np.ndarray], width: int = 60, height: int = 16
+) -> str:
+    """Plot empirical CDFs of one or more samples (Fig. 3a style)."""
+    series = {}
+    for name, values in samples.items():
+        xs, ys = empirical_cdf(np.asarray(values, float))
+        series[name] = (xs, ys)
+    return render_series(series, width=width, height=height, y_label="CDF")

@@ -1,0 +1,94 @@
+"""ASCII flux heat maps (the text analogue of paper Figs. 1 and 4)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.topology import Network
+
+#: Light-to-dark shading ramp.
+_RAMP = " .:-=+*#%@"
+
+
+def render_flux_heatmap(
+    network: Network,
+    flux: np.ndarray,
+    width: int = 60,
+    height: int = 24,
+    markers: Optional[np.ndarray] = None,
+    log_scale: bool = True,
+) -> str:
+    """Render a per-node flux vector as an ASCII heat map.
+
+    Parameters
+    ----------
+    flux:
+        ``(node_count,)`` values; each character cell shows the mean
+        flux of the nodes falling in it, shaded light -> dark.
+    markers:
+        Optional ``(k, 2)`` positions drawn as ``X`` (e.g. true user
+        locations).
+    log_scale:
+        Shade by ``log1p(flux)`` — the flux spans orders of magnitude
+        between the sink and the boundary, so linear shading would
+        show a single dark dot.
+    """
+    flux = np.asarray(flux, dtype=float)
+    if flux.shape != (network.node_count,):
+        raise ConfigurationError(
+            f"flux must have shape ({network.node_count},), got {flux.shape}"
+        )
+    if width < 2 or height < 2:
+        raise ConfigurationError("width and height must each be >= 2")
+
+    xmin, ymin, xmax, ymax = network.field.bounding_box
+    xs = np.clip(
+        ((network.positions[:, 0] - xmin) / (xmax - xmin) * width).astype(int),
+        0,
+        width - 1,
+    )
+    ys = np.clip(
+        ((network.positions[:, 1] - ymin) / (ymax - ymin) * height).astype(int),
+        0,
+        height - 1,
+    )
+    sums = np.zeros((height, width))
+    counts = np.zeros((height, width))
+    np.add.at(sums, (ys, xs), flux)
+    np.add.at(counts, (ys, xs), 1.0)
+    with np.errstate(invalid="ignore"):
+        cells = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+
+    values = np.log1p(np.maximum(cells, 0.0)) if log_scale else cells
+    finite = values[np.isfinite(values)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    span = max(hi - lo, 1e-12)
+
+    grid = []
+    for row in range(height - 1, -1, -1):  # y grows upward
+        line = []
+        for col in range(width):
+            v = values[row, col]
+            if not np.isfinite(v):
+                line.append(" ")
+            else:
+                idx = int((v - lo) / span * (len(_RAMP) - 1))
+                line.append(_RAMP[idx])
+        grid.append(line)
+
+    if markers is not None:
+        markers = np.asarray(markers, dtype=float)
+        for mx, my in markers:
+            col = int(np.clip((mx - xmin) / (xmax - xmin) * width, 0, width - 1))
+            row = int(
+                np.clip((my - ymin) / (ymax - ymin) * height, 0, height - 1)
+            )
+            grid[height - 1 - row][col] = "X"
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(line) + "|" for line in grid)
+    return f"{border}\n{body}\n{border}"

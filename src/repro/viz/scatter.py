@@ -1,0 +1,52 @@
+"""ASCII position scatter plots (paper Figs. 5 and 7 as text)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.field import Field
+
+
+def render_positions(
+    field: Field,
+    layers: Dict[str, np.ndarray],
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Plot labelled point sets inside the field.
+
+    Parameters
+    ----------
+    layers:
+        ``{glyph: (k, 2) positions}`` — each layer is drawn with its
+        single-character glyph; later layers overwrite earlier ones
+        (put ground truth last so it stays visible).
+    """
+    if width < 2 or height < 2:
+        raise ConfigurationError("width and height must each be >= 2")
+    for glyph in layers:
+        if len(glyph) != 1:
+            raise ConfigurationError(
+                f"layer glyphs must be single characters, got {glyph!r}"
+            )
+    xmin, ymin, xmax, ymax = field.bounding_box
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, points in layers.items():
+        points = np.asarray(points, dtype=float)
+        if points.size == 0:
+            continue
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ConfigurationError(
+                f"layer {glyph!r} must be (k, 2), got {points.shape}"
+            )
+        for x, y in points:
+            col = int(np.clip((x - xmin) / (xmax - xmin) * width, 0, width - 1))
+            row = int(np.clip((y - ymin) / (ymax - ymin) * height, 0, height - 1))
+            grid[height - 1 - row][col] = glyph
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(line) + "|" for line in grid)
+    legend = "  ".join(f"{glyph}={glyph}" for glyph in layers)
+    return f"{border}\n{body}\n{border}"

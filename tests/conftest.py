@@ -1,0 +1,33 @@
+"""Shared fixtures: small, connected networks reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import RectangularField
+from repro.network import build_network
+
+
+@pytest.fixture(scope="session")
+def small_field():
+    return RectangularField(15.0, 15.0)
+
+
+@pytest.fixture(scope="session")
+def small_network(small_field):
+    """225 nodes on a 15x15 field — fast but structurally realistic."""
+    return build_network(
+        field=small_field, node_count=225, radius=2.0, rng=1234
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_network():
+    """The paper's 900-node default network (session-scoped: built once)."""
+    return build_network(rng=99)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)

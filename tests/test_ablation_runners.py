@@ -1,0 +1,87 @@
+"""Ablation runner unit tests (small repetitions; shape checks)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.ablations import (
+    run_ablation_aggregation,
+    run_ablation_d_floor,
+    run_ablation_kernel,
+    run_ablation_routing,
+    run_ablation_smoothing,
+    run_ablation_weighting,
+    run_robustness_holes,
+    single_user_attack_error,
+)
+from repro.traffic import simulate_flux
+
+
+class TestAttackPrimitive:
+    def test_returns_error(self, paper_network):
+        gen = np.random.default_rng(0)
+        truth = paper_network.field.sample_uniform(1, gen)[0]
+        flux = simulate_flux(paper_network, [truth], [2.0], rng=gen)
+        err = single_user_attack_error(
+            paper_network, flux, truth, np.random.default_rng(1),
+            candidate_count=800,
+        )
+        assert 0 <= err < paper_network.field.diameter
+
+    def test_custom_model_restricted(self, paper_network):
+        from repro.fluxmodel.discrete import DiscreteFluxModel
+
+        gen = np.random.default_rng(0)
+        truth = paper_network.field.sample_uniform(1, gen)[0]
+        flux = simulate_flux(paper_network, [truth], [2.0], rng=gen)
+        full_model = DiscreteFluxModel(
+            paper_network.field, paper_network.positions, d_floor=1.0
+        )
+        err = single_user_attack_error(
+            paper_network, flux, truth, np.random.default_rng(1),
+            candidate_count=800, model=full_model,
+        )
+        assert 0 <= err < paper_network.field.diameter
+
+
+@pytest.mark.slow
+class TestAblationRunners:
+    def test_d_floor(self):
+        r = run_ablation_d_floor(floors=(1.0, 2.4), repetitions=2, rng=0)
+        assert len(r.rows) == 2
+        assert all(row["error"] >= 0 for row in r.rows)
+
+    def test_smoothing(self):
+        r = run_ablation_smoothing(repetitions=2, rng=1)
+        variants = {row["variant"] for row in r.rows}
+        assert variants == {"smoothing=on", "smoothing=off"}
+
+    def test_weighting(self):
+        r = run_ablation_weighting(repetitions=2, rng=2)
+        assert len(r.rows) == 2
+
+    def test_routing(self):
+        r = run_ablation_routing(repetitions=2, rng=3)
+        variants = {row["variant"] for row in r.rows}
+        assert variants == {"routing=bfs", "routing=geographic"}
+
+    def test_aggregation_monotone(self):
+        r = run_ablation_aggregation(
+            factors=(1.0, 0.0), repetitions=3, rng=4
+        )
+        means = {row["variant"]: row["error"] for row in r.rows}
+        assert means["aggregation=0"] > means["aggregation=1"] - 0.5
+
+    def test_kernel(self):
+        r = run_ablation_kernel(repetitions=2, probe_count=3, rng=5)
+        variants = {row["variant"] for row in r.rows}
+        assert variants == {"kernel=analytic", "kernel=calibrated"}
+
+    def test_holes(self):
+        r = run_robustness_holes(hole_radii=(0.0, 5.0), repetitions=2, rng=6)
+        assert [row["hole_radius"] for row in r.rows] == [0.0, 5.0]
+        assert all(row["runs"] >= 1 for row in r.rows)
+
+    def test_repetitions_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_ablation_smoothing(repetitions=0, rng=0)

@@ -1,0 +1,172 @@
+"""Privacy analysis and npz persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import exposure_timeline, localization_privacy
+from repro.errors import ConfigurationError
+from repro.geometry import CircularField, PolygonField, RectangularField
+from repro.traffic.measurement import FluxObservation
+from repro.util.persistence import (
+    load_network,
+    load_observations,
+    save_network,
+    save_observations,
+)
+
+
+class TestLocalizationPrivacy:
+    def _field(self):
+        return RectangularField(30, 30)
+
+    def test_pinning_probabilities(self):
+        errors = np.array([0.5, 1.5, 2.5, 10.0])
+        report = localization_privacy(errors, self._field(), radii=(1.0, 3.0))
+        assert report.pinning[1.0] == 0.25
+        assert report.pinning[3.0] == 0.75
+
+    def test_anonymity_radius_quantile(self):
+        errors = np.linspace(0.0, 10.0, 101)
+        report = localization_privacy(errors, self._field(), confidence=0.9)
+        assert report.anonymity_radius == pytest.approx(9.0, abs=0.2)
+
+    def test_privacy_loss_bounds(self):
+        tight = localization_privacy(
+            np.full(20, 0.5), self._field(), confidence=0.9
+        )
+        loose = localization_privacy(
+            np.full(20, 25.0), self._field(), confidence=0.9
+        )
+        assert tight.privacy_loss > 0.99
+        assert loose.privacy_loss == 0.0  # clipped: area exceeds field
+
+    def test_summary_text(self):
+        report = localization_privacy(np.array([1.0, 2.0]), self._field())
+        text = report.summary()
+        assert "privacy loss" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            localization_privacy(np.array([]), self._field())
+        with pytest.raises(ConfigurationError):
+            localization_privacy(np.array([-1.0]), self._field())
+        with pytest.raises(ConfigurationError):
+            localization_privacy(
+                np.array([1.0]), self._field(), confidence=1.0
+            )
+        with pytest.raises(ConfigurationError):
+            localization_privacy(np.array([1.0]), self._field(), radii=())
+
+
+class TestExposureTimeline:
+    def test_fully_exposed(self):
+        errors = np.full((10, 2), 1.0)
+        out = exposure_timeline(errors, exposure_radius=3.0)
+        assert out["exposed_fraction"] == 1.0
+        assert out["fully_exposed_users"] == 1.0
+        assert out["mean_exposed_streak"] == 10.0
+
+    def test_never_exposed(self):
+        errors = np.full((10, 2), 9.0)
+        out = exposure_timeline(errors, exposure_radius=3.0)
+        assert out["exposed_fraction"] == 0.0
+        assert out["mean_exposed_streak"] == 0.0
+
+    def test_streaks_counted(self):
+        errors = np.array([[1.0], [1.0], [9.0], [1.0]])
+        out = exposure_timeline(errors, exposure_radius=3.0)
+        assert out["mean_exposed_streak"] == pytest.approx(1.5)
+
+    def test_burn_in_excluded(self):
+        errors = np.vstack([np.full((5, 1), 9.0), np.full((5, 1), 1.0)])
+        out = exposure_timeline(errors, exposure_radius=3.0, burn_in=5)
+        assert out["exposed_fraction"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            exposure_timeline(np.zeros((0, 2)))
+        with pytest.raises(ConfigurationError):
+            exposure_timeline(np.zeros((3, 2)), burn_in=3)
+
+
+class TestNetworkPersistence:
+    def test_rectangular_roundtrip(self, small_network, tmp_path):
+        path = save_network(small_network, tmp_path / "net.npz")
+        loaded = load_network(path)
+        np.testing.assert_allclose(loaded.positions, small_network.positions)
+        assert loaded.radius == small_network.radius
+        assert loaded.field.bounding_box == small_network.field.bounding_box
+        assert loaded.graph.edge_count == small_network.graph.edge_count
+
+    def test_circular_roundtrip(self, tmp_path):
+        from repro.network import build_network
+
+        field = CircularField(8.0, center=(10.0, 10.0))
+        net = build_network(
+            field=field, node_count=150, radius=2.2,
+            deployment="uniform_random", rng=1,
+        )
+        loaded = load_network(save_network(net, tmp_path / "c.npz"))
+        assert isinstance(loaded.field, CircularField)
+        assert loaded.field.radius == 8.0
+
+    def test_polygon_rejected(self, tmp_path):
+        from repro.network import Network
+        from repro.network.graph import UnitDiskGraph
+
+        field = PolygonField([(0, 0), (10, 0), (0, 10)])
+        positions = field.sample_uniform(30, np.random.default_rng(0))
+        net = Network(
+            field=field,
+            positions=positions,
+            graph=UnitDiskGraph(positions, 3.0),
+        )
+        with pytest.raises(ConfigurationError):
+            save_network(net, tmp_path / "p.npz")
+
+
+class TestObservationPersistence:
+    def _observations(self, n=3):
+        sniffers = np.arange(5)
+        return [
+            FluxObservation(
+                time=float(t),
+                sniffers=sniffers,
+                values=np.arange(5, dtype=float) + t,
+            )
+            for t in range(n)
+        ]
+
+    def test_roundtrip(self, tmp_path):
+        obs = self._observations()
+        loaded = load_observations(
+            save_observations(obs, tmp_path / "obs.npz")
+        )
+        assert len(loaded) == 3
+        for a, b in zip(obs, loaded):
+            assert a.time == b.time
+            np.testing.assert_allclose(a.values, b.values)
+            np.testing.assert_array_equal(a.sniffers, b.sniffers)
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_observations([], tmp_path / "x.npz")
+
+    def test_mismatched_sniffers_rejected(self, tmp_path):
+        a = FluxObservation(time=0.0, sniffers=np.arange(3), values=np.ones(3))
+        b = FluxObservation(
+            time=1.0, sniffers=np.arange(1, 4), values=np.ones(3)
+        )
+        with pytest.raises(ConfigurationError):
+            save_observations([a, b], tmp_path / "x.npz")
+
+    def test_nan_values_survive(self, tmp_path):
+        sniffers = np.arange(3)
+        obs = [
+            FluxObservation(
+                time=0.0, sniffers=sniffers,
+                values=np.array([1.0, np.nan, 3.0]),
+            )
+        ]
+        loaded = load_observations(save_observations(obs, tmp_path / "n.npz"))
+        assert np.isnan(loaded[0].values[1])

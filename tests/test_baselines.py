@@ -1,0 +1,142 @@
+"""Baseline localizer/tracker tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EKFTracker,
+    PeakLocalizer,
+    centroid_localize,
+    refine_smooth_field,
+)
+from repro.errors import ConfigurationError
+from repro.fingerprint.objective import FluxObjective
+from repro.fluxmodel.discrete import DiscreteFluxModel
+from repro.geometry import CircularField
+from repro.traffic import simulate_flux
+from repro.traffic.measurement import FluxObservation
+
+
+class TestPeakLocalizer:
+    def test_single_user(self, small_network):
+        truth = np.array([11.0, 4.0])
+        flux = simulate_flux(small_network, [truth], [2.0], rng=0)
+        positions = PeakLocalizer(small_network).localize(flux, user_count=1)
+        assert positions.shape == (1, 2)
+        assert np.linalg.norm(positions[0] - truth) < 2.0
+
+    def test_two_users(self, small_network):
+        users = [np.array([3.0, 3.0]), np.array([12.0, 12.0])]
+        flux = simulate_flux(small_network, users, [2.0, 2.0], rng=0)
+        positions = PeakLocalizer(small_network).localize(flux, user_count=2)
+        for truth in users:
+            assert np.min(np.linalg.norm(positions - truth, axis=1)) < 2.5
+
+    def test_pads_when_briefing_stops_early(self, small_network):
+        flux = simulate_flux(small_network, [np.array([7.0, 7.0])], [2.0], rng=0)
+        positions = PeakLocalizer(small_network).localize(flux, user_count=4)
+        assert positions.shape == (4, 2)
+
+    def test_bad_user_count(self, small_network):
+        with pytest.raises(ConfigurationError):
+            PeakLocalizer(small_network).localize(
+                np.ones(small_network.node_count), user_count=0
+            )
+
+
+class TestCentroid:
+    def test_peaked_flux_near_truth(self, small_network):
+        truth = np.array([7.0, 7.0])  # central user: centroid works best here
+        flux = simulate_flux(small_network, [truth], [2.0], rng=0)
+        est = centroid_localize(small_network.positions, flux, power=4.0)
+        assert np.linalg.norm(est - truth) < 3.0
+
+    def test_boundary_bias(self, small_network):
+        """The documented weakness: centroid biased inward for edge users."""
+        truth = np.array([1.0, 1.0])
+        flux = simulate_flux(small_network, [truth], [2.0], rng=0)
+        est = centroid_localize(small_network.positions, flux, power=2.0)
+        assert np.linalg.norm(est - truth) > 1.0  # visibly biased
+
+    def test_zero_flux_raises(self, small_network):
+        with pytest.raises(ConfigurationError):
+            centroid_localize(
+                small_network.positions, np.zeros(small_network.node_count)
+            )
+
+    def test_shape_checks(self):
+        with pytest.raises(ConfigurationError):
+            centroid_localize(np.zeros((3, 2)), np.ones(5))
+
+
+class TestEKF:
+    def test_stationary_convergence(self):
+        ekf = EKFTracker(np.array([0.0, 0.0]), measurement_noise=0.5)
+        gen = np.random.default_rng(0)
+        truth = np.array([3.0, 4.0])
+        for _ in range(30):
+            ekf.step(1.0, truth + gen.normal(0, 0.5, 2))
+        assert np.linalg.norm(ekf.position - truth) < 0.5
+
+    def test_constant_velocity_tracking(self):
+        ekf = EKFTracker(np.array([0.0, 0.0]), process_noise=0.5)
+        for t in range(1, 20):
+            ekf.step(1.0, np.array([float(t), 0.0]))
+        assert ekf.velocity[0] == pytest.approx(1.0, abs=0.2)
+        assert np.linalg.norm(ekf.position - [19.0, 0.0]) < 1.0
+
+    def test_prediction_without_measurement(self):
+        ekf = EKFTracker(np.array([0.0, 0.0]))
+        for t in range(1, 10):
+            ekf.step(1.0, np.array([float(t), 0.0]))
+        pos_before = ekf.position.copy()
+        ekf.step(1.0, None)  # coast
+        assert ekf.position[0] > pos_before[0]
+
+    def test_uncertainty_grows_while_coasting(self):
+        ekf = EKFTracker(np.array([0.0, 0.0]))
+        ekf.update(np.array([0.0, 0.0]))
+        var_before = ekf.state.covariance[0, 0]
+        ekf.predict(5.0)
+        assert ekf.state.covariance[0, 0] > var_before
+
+    def test_bad_measurement_raises(self):
+        ekf = EKFTracker(np.array([0.0, 0.0]))
+        with pytest.raises(ConfigurationError):
+            ekf.update(np.array([np.nan, 0.0]))
+
+    def test_bad_dt_raises(self):
+        ekf = EKFTracker(np.array([0.0, 0.0]))
+        with pytest.raises(ConfigurationError):
+            ekf.predict(0.0)
+
+
+class TestSmoothRefine:
+    def test_improves_on_circular_field(self):
+        field = CircularField(10.0, center=(10.0, 10.0))
+        gen = np.random.default_rng(0)
+        nodes = field.sample_uniform(60, gen)
+        model = DiscreteFluxModel(field, nodes, d_floor=0.5)
+        truth = np.array([[12.0, 9.0]])
+        values = model.predict(truth, [2.0])
+        obs = FluxObservation(time=0.0, sniffers=np.arange(60), values=values)
+        objective = FluxObjective.from_observation(model, obs)
+
+        start = truth + np.array([[1.5, -1.0]])
+        _, obj0 = objective.evaluate(start)
+        positions, thetas, obj1 = refine_smooth_field(
+            objective, start, np.array([1.0])
+        )
+        assert obj1 < obj0
+        assert np.linalg.norm(positions[0] - truth[0]) < 0.5
+        assert thetas[0] == pytest.approx(2.0, rel=0.1)
+
+    def test_shape_validation(self):
+        field = CircularField(5.0)
+        nodes = field.sample_uniform(10, np.random.default_rng(0))
+        model = DiscreteFluxModel(field, nodes, d_floor=0.5)
+        objective = FluxObjective(model=model, target=np.ones(10))
+        with pytest.raises(ConfigurationError):
+            refine_smooth_field(objective, np.zeros(2), np.ones(1))
+        with pytest.raises(ConfigurationError):
+            refine_smooth_field(objective, np.zeros((1, 2)), np.ones(2))

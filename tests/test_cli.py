@@ -1,0 +1,165 @@
+"""CLI tests (parser wiring + command smoke runs on small networks)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.nodes == 900
+        assert args.users == 2
+        assert args.deployment == "perturbed_grid"
+
+    def test_global_seed(self):
+        args = build_parser().parse_args(["--seed", "7", "simulate"])
+        assert args.seed == 7
+
+    def test_experiment_figures(self):
+        args = build_parser().parse_args(["experiment", "6a"])
+        assert args.figure == "6a"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "99"])
+
+    def test_track_crossing_flag(self):
+        args = build_parser().parse_args(["track", "--crossing"])
+        assert args.crossing
+
+
+_SMALL = ["--nodes", "225", "--field", "15", "--radius", "2.0"]
+
+
+class TestCommands:
+    def test_simulate_stdout(self, capsys):
+        rc = main(["--seed", "1", "simulate", *_SMALL, "--users", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "network: 225 nodes" in out
+        assert "user 0" in out
+
+    def test_simulate_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "flux.csv"
+        rc = main(
+            ["--seed", "1", "simulate", *_SMALL, "--output", str(out_file)]
+        )
+        assert rc == 0
+        lines = out_file.read_text().splitlines()
+        assert lines[0] == "node,x,y,flux"
+        assert len(lines) == 226
+
+    def test_localize(self, capsys):
+        rc = main(
+            [
+                "--seed", "2", "localize", *_SMALL,
+                "--users", "1", "--percentage", "20",
+                "--candidates", "500", "--restarts", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean error" in out
+
+    def test_track(self, capsys):
+        rc = main(
+            [
+                "--seed", "3", "track", *_SMALL,
+                "--users", "1", "--rounds", "4",
+                "--percentage", "20", "--predictions", "150",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "final mean error" in out
+
+    def test_traces_summary(self, capsys):
+        rc = main(
+            ["--seed", "4", "traces", "--users", "3", "--aps", "60",
+             "--landmarks", "15"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "syslog records" in out
+
+    def test_traces_file(self, tmp_path):
+        out_file = tmp_path / "trace.log"
+        rc = main(
+            ["--seed", "4", "traces", "--users", "2", "--aps", "40",
+             "--landmarks", "10", "--output", str(out_file)]
+        )
+        assert rc == 0
+        content = out_file.read_text().splitlines()
+        assert all(len(line.split("\t")) == 4 for line in content[:20])
+
+    def test_experiment_fig9(self, capsys):
+        rc = main(["--seed", "5", "experiment", "9", "--scale", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig 9" in out
+
+    @pytest.mark.slow
+    def test_defend(self, capsys):
+        rc = main(
+            ["--seed", "6", "defend", *_SMALL, "--users", "1",
+             "--repetitions", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "padding" in out and "dummy_sinks" in out
+
+
+class TestAblationExperiments:
+    def test_ablation_id_parses(self):
+        args = build_parser().parse_args(["experiment", "ablation-routing"])
+        assert args.figure == "ablation-routing"
+
+    @pytest.mark.slow
+    def test_ablation_runs(self, capsys):
+        rc = main(
+            ["--seed", "5", "experiment", "ablation-smoothing", "--scale", "6"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "smoothing=on" in out
+
+
+class TestCrossingTrack:
+    @pytest.mark.slow
+    def test_track_crossing(self, capsys):
+        rc = main(
+            [
+                "--seed", "9", "track", *_SMALL, "--crossing",
+                "--rounds", "5", "--percentage", "20",
+                "--predictions", "150",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "final mean error" in out
+
+
+class TestCliPlanConsistency:
+    def test_cli_figure_choices_cover_experiment_plan(self):
+        """Every figure in the reporting plan is reachable from the CLI."""
+        from repro.experiments.config import PaperDefaults
+        from repro.experiments.reporting import build_experiment_plan
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._subparsers._group_actions
+        ).choices["experiment"]
+        figure_action = next(
+            a for a in sub._actions if a.dest == "figure"
+        )
+        plan_ids = {
+            name.replace("Fig ", "").lower()
+            for name, _ in build_experiment_plan(
+                PaperDefaults().scaled(10), 0
+            )
+        }
+        assert plan_ids <= set(figure_action.choices)

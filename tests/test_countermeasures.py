@@ -1,0 +1,113 @@
+"""Countermeasure tests: padding, dummy sinks, trade-off evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.countermeasures import (
+    apply_uniform_padding,
+    inject_dummy_sinks,
+    padding_overhead,
+)
+from repro.countermeasures.evaluation import defense_tradeoff
+from repro.errors import ConfigurationError
+from repro.traffic import simulate_flux
+
+
+class TestPadding:
+    def test_zero_level_noop(self):
+        flux = np.array([1.0, 5.0, 3.0])
+        np.testing.assert_allclose(apply_uniform_padding(flux, 0.0), flux)
+
+    def test_full_level_flattens(self):
+        flux = np.array([1.0, 5.0, 3.0])
+        np.testing.assert_allclose(apply_uniform_padding(flux, 1.0), 5.0)
+
+    def test_padding_only_adds(self):
+        flux = np.array([1.0, 5.0, 3.0])
+        padded = apply_uniform_padding(flux, 0.5)
+        assert np.all(padded >= flux)
+
+    def test_max_unchanged(self):
+        flux = np.array([1.0, 5.0, 3.0])
+        assert apply_uniform_padding(flux, 0.7).max() == pytest.approx(5.0)
+
+    def test_level_validated(self):
+        with pytest.raises(ConfigurationError):
+            apply_uniform_padding(np.ones(3), 1.5)
+
+    def test_shape_validated(self):
+        with pytest.raises(ConfigurationError):
+            apply_uniform_padding(np.ones((2, 2)), 0.5)
+
+    def test_overhead_monotone_in_level(self):
+        flux = np.array([1.0, 5.0, 3.0])
+        o1 = padding_overhead(flux, 0.3)
+        o2 = padding_overhead(flux, 0.8)
+        assert 0 < o1 < o2
+
+    def test_overhead_zero_flux_raises(self):
+        with pytest.raises(ConfigurationError):
+            padding_overhead(np.zeros(3), 0.5)
+
+
+class TestDummySinks:
+    def test_adds_flux(self, small_network):
+        flux = simulate_flux(small_network, [np.array([7.0, 7.0])], [1.0], rng=0)
+        defended, positions = inject_dummy_sinks(small_network, flux, 2, rng=1)
+        assert np.all(defended >= flux)
+        assert positions.shape == (2, 2)
+        assert small_network.field.contains(positions).all()
+
+    def test_dummy_flux_realistic_scale(self, small_network):
+        flux = simulate_flux(small_network, [np.array([7.0, 7.0])], [2.0], rng=0)
+        defended, _ = inject_dummy_sinks(
+            small_network, flux, 1, dummy_stretch=2.0, rng=1
+        )
+        added = defended - flux
+        # A dummy tree moves a full network's worth of data.
+        assert added.max() == pytest.approx(2.0 * small_network.node_count)
+
+    def test_validation(self, small_network):
+        flux = np.ones(small_network.node_count)
+        with pytest.raises(ConfigurationError):
+            inject_dummy_sinks(small_network, flux, 0)
+        with pytest.raises(ConfigurationError):
+            inject_dummy_sinks(small_network, np.ones(3), 1)
+
+
+class TestDefenseTradeoff:
+    def test_smoke(self, small_network):
+        points = defense_tradeoff(
+            small_network,
+            user_count=1,
+            padding_levels=(0.0, 0.5),
+            dummy_counts=(1,),
+            repetitions=1,
+            candidate_count=300,
+            rng=0,
+        )
+        assert len(points) == 3
+        kinds = {(p.defense, p.parameter) for p in points}
+        assert ("padding", 0.0) in kinds
+        assert ("dummy_sinks", 1.0) in kinds
+        for p in points:
+            assert p.attack_error >= 0
+            assert p.overhead >= 0
+
+    def test_padding_degrades_attack(self, small_network):
+        points = defense_tradeoff(
+            small_network,
+            user_count=1,
+            padding_levels=(0.0, 0.9),
+            dummy_counts=(),
+            repetitions=2,
+            candidate_count=400,
+            rng=3,
+        )
+        base = next(p for p in points if p.parameter == 0.0)
+        heavy = next(p for p in points if p.parameter == 0.9)
+        assert heavy.attack_error > base.attack_error
+
+    def test_repetitions_validated(self, small_network):
+        with pytest.raises(ConfigurationError):
+            defense_tradeoff(small_network, repetitions=0)

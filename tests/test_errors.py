@@ -1,0 +1,46 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConnectivityError,
+    DeploymentError,
+    FittingError,
+    GeometryError,
+    ReproError,
+    TraceError,
+    TrackingError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    GeometryError,
+    DeploymentError,
+    ConnectivityError,
+    FittingError,
+    TrackingError,
+    TraceError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_errors_are_catchable_as_repro_error(exc):
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_errors_carry_messages():
+    try:
+        raise FittingError("specific detail")
+    except ReproError as e:
+        assert "specific detail" in str(e)

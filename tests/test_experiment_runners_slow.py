@@ -1,0 +1,89 @@
+"""Scaled-down smoke tests for the tracking and trace-driven runners."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PaperDefaults,
+    run_fig7,
+    run_fig8a,
+    run_fig8b,
+    run_fig10a,
+    run_fig10b,
+)
+
+_TINY = PaperDefaults().scaled(10)  # N=100 predictions, 1000 candidates
+
+
+@pytest.mark.slow
+class TestTrackingRunners:
+    def test_fig7_rows_and_metadata(self):
+        r = run_fig7(defaults=_TINY, rng=1)
+        cases = [row["case"] for row in r.rows]
+        assert cases == [
+            "one user",
+            "two users",
+            "three users",
+            "two users (crossing)",
+        ]
+        for row in r.rows:
+            assert row["final_error"] >= 0
+            assert 0 <= row["identity_consistency"] <= 1
+        assert "one user" in r.metadata
+        errors = r.metadata["one user"]["errors"]
+        assert errors.shape[0] == _TINY.tracking_rounds
+
+    def test_fig8a_shape(self):
+        r = run_fig8a(
+            user_counts=(1,),
+            percentages=(20.0, 10.0),
+            repetitions=1,
+            defaults=_TINY,
+            rng=2,
+        )
+        assert [row["percentage"] for row in r.rows] == [20.0, 10.0]
+        assert all(row["1_user"] >= 0 for row in r.rows)
+
+    def test_fig8b_shape(self):
+        r = run_fig8b(
+            user_counts=(1,),
+            node_counts=(900,),
+            repetitions=1,
+            defaults=_TINY,
+            rng=3,
+        )
+        assert r.rows[0]["node_count"] == 900
+
+    def test_fig8_repetitions_validated(self):
+        import pytest as _pytest
+
+        from repro.errors import ConfigurationError
+
+        with _pytest.raises(ConfigurationError):
+            run_fig8a(repetitions=0, defaults=_TINY)
+
+
+@pytest.mark.slow
+class TestTraceRunners:
+    def test_fig10a_paired_rows(self):
+        r = run_fig10a(
+            percentages=(20.0, 10.0),
+            deployments=("perturbed_grid",),
+            runs=1,
+            users_per_run=3,
+            defaults=_TINY,
+            rng=4,
+        )
+        assert [row["percentage"] for row in r.rows] == [20.0, 10.0]
+        assert all(row["perturbed_grid"] >= 0 for row in r.rows)
+
+    def test_fig10b_radii_rows(self):
+        r = run_fig10b(
+            radii=(6.0, 10.0),
+            deployments=("perturbed_grid",),
+            runs=1,
+            users_per_run=3,
+            defaults=_TINY,
+            rng=5,
+        )
+        assert [row["resampling_radius"] for row in r.rows] == [6.0, 10.0]

@@ -1,0 +1,128 @@
+"""Experiment harness and (scaled-down) per-figure runner smoke tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentResult,
+    PaperDefaults,
+    format_table,
+    run_fig3a,
+    run_fig3b,
+    run_fig4,
+    run_fig5,
+    run_fig6a,
+    run_fig6b,
+    run_fig9,
+)
+
+
+class TestHarness:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_ragged_rows(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_experiment_result_render(self):
+        r = ExperimentResult(
+            figure="Fig X",
+            title="demo",
+            rows=[{"v": 1.0}],
+            paper_reference="ref text",
+        )
+        out = r.render()
+        assert "Fig X" in out and "ref text" in out
+
+    def test_column_names_ordered(self):
+        r = ExperimentResult(
+            figure="f", title="t", rows=[{"a": 1, "b": 2}, {"c": 3}]
+        )
+        assert r.column_names() == ["a", "b", "c"]
+
+
+class TestPaperDefaults:
+    def test_paper_values(self):
+        d = PaperDefaults()
+        assert d.node_count == 900
+        assert d.radius == 2.4
+        assert d.candidate_count == 10_000
+        assert d.percentages == (40.0, 20.0, 10.0, 5.0)
+        assert d.density_node_counts == (900, 1200, 1500, 1800)
+
+    def test_scaled_reduces_budgets(self):
+        d = PaperDefaults().scaled(10)
+        assert d.candidate_count == 1000
+        assert d.prediction_count == 100
+        assert d.node_count == 900  # topology unchanged
+
+    def test_scaled_validates(self):
+        with pytest.raises(ConfigurationError):
+            PaperDefaults().scaled(0.5)
+
+
+@pytest.mark.slow
+class TestRunners:
+    """Scaled-down runs of each figure runner (shape checks only)."""
+
+    def test_fig3a(self):
+        r = run_fig3a(
+            degrees=(12.0,), node_count=900, field_size=30.0, sink_count=1, rng=0
+        )
+        assert len(r.rows) == 1
+        assert 0 <= r.rows[0]["P[err<=0.4]"] <= 1
+
+    def test_fig3b(self):
+        r = run_fig3b(node_count=900, field_size=30.0, rng=0)
+        assert r.rows
+        assert 0 <= r.metadata["flux_fraction_beyond_3_hops"] <= 1
+
+    def test_fig4(self):
+        r = run_fig4(user_count=2, node_count=400, rng=1)
+        assert 1 <= len(r.rows) <= 2
+        for row in r.rows:
+            assert row["position_error"] >= 0
+
+    def test_fig5(self):
+        defaults = PaperDefaults().scaled(20)
+        r = run_fig5(user_counts=(1,), defaults=defaults, rng=2)
+        assert r.rows[0]["users"] == 1
+        assert r.rows[0]["avg_error"] < 10
+
+    def test_fig6a(self):
+        defaults = PaperDefaults().scaled(20)
+        r = run_fig6a(
+            user_counts=(1,),
+            percentages=(20.0,),
+            repetitions=1,
+            defaults=defaults,
+            rng=3,
+        )
+        assert r.rows[0]["percentage"] == 20.0
+        assert "1_user" in r.rows[0]
+
+    def test_fig6b(self):
+        defaults = PaperDefaults().scaled(20)
+        r = run_fig6b(
+            user_counts=(1,),
+            node_counts=(900,),
+            repetitions=1,
+            defaults=defaults,
+            rng=4,
+        )
+        assert r.rows[0]["node_count"] == 900
+
+    def test_fig9(self):
+        r = run_fig9(ap_count=200, landmark_count=30, rng=5)
+        assert r.rows[0]["landmark_aps"] == 30
+        assert r.metadata["landmark_positions"].shape == (30, 2)

@@ -1,0 +1,177 @@
+"""Field boundary tests: rectangle, circle, polygon."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GeometryError
+from repro.geometry import CircularField, PolygonField, RectangularField
+
+
+class TestRectangularField:
+    def test_area(self):
+        assert RectangularField(3, 4).area == 12.0
+
+    def test_bounding_box_with_origin(self):
+        f = RectangularField(2, 3, origin=(1, -1))
+        assert f.bounding_box == (1, -1, 3, 2)
+
+    def test_diameter(self):
+        assert RectangularField(3, 4).diameter == pytest.approx(5.0)
+
+    def test_contains_inside(self):
+        f = RectangularField(10, 10)
+        assert f.contains(np.array([[5.0, 5.0]]))[0]
+
+    def test_contains_boundary(self):
+        f = RectangularField(10, 10)
+        assert f.contains(np.array([[0.0, 0.0], [10.0, 10.0]])).all()
+
+    def test_contains_outside(self):
+        f = RectangularField(10, 10)
+        assert not f.contains(np.array([[11.0, 5.0]]))[0]
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ConfigurationError):
+            RectangularField(0, 5)
+
+    def test_ray_exit_cardinal(self):
+        f = RectangularField(10, 10)
+        origins = np.array([[2.0, 5.0]])
+        d = f.ray_exit_distance(origins, np.array([[1.0, 0.0]]))
+        assert d[0] == pytest.approx(8.0)
+        d = f.ray_exit_distance(origins, np.array([[-1.0, 0.0]]))
+        assert d[0] == pytest.approx(2.0)
+        d = f.ray_exit_distance(origins, np.array([[0.0, 1.0]]))
+        assert d[0] == pytest.approx(5.0)
+
+    def test_ray_exit_diagonal(self):
+        f = RectangularField(10, 10)
+        u = np.array([[1.0, 1.0]]) / np.sqrt(2)
+        d = f.ray_exit_distance(np.array([[5.0, 5.0]]), u)
+        assert d[0] == pytest.approx(5 * np.sqrt(2))
+
+    def test_ray_from_outside_raises(self):
+        f = RectangularField(10, 10)
+        with pytest.raises(GeometryError):
+            f.ray_exit_distance(np.array([[20.0, 5.0]]), np.array([[1.0, 0.0]]))
+
+    def test_zero_direction_raises(self):
+        f = RectangularField(10, 10)
+        with pytest.raises(GeometryError):
+            f.ray_exit_distance(np.array([[5.0, 5.0]]), np.array([[0.0, 0.0]]))
+
+    def test_shape_mismatch_raises(self):
+        f = RectangularField(10, 10)
+        with pytest.raises(GeometryError):
+            f.ray_exit_distance(np.zeros((2, 2)) + 5, np.array([[1.0, 0.0]]))
+
+    def test_sample_uniform_inside(self):
+        f = RectangularField(10, 10, origin=(5, 5))
+        pts = f.sample_uniform(200, np.random.default_rng(0))
+        assert pts.shape == (200, 2)
+        assert f.contains(pts).all()
+
+    def test_sample_zero(self):
+        f = RectangularField(10, 10)
+        assert f.sample_uniform(0, np.random.default_rng(0)).shape == (0, 2)
+
+    def test_clip(self):
+        f = RectangularField(10, 10)
+        out = f.clip(np.array([[-5.0, 3.0], [12.0, 15.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 3.0], [10.0, 10.0]])
+
+
+class TestCircularField:
+    def test_area(self):
+        assert CircularField(2.0).area == pytest.approx(4 * np.pi)
+
+    def test_bounding_box(self):
+        f = CircularField(1.0, center=(2, 3))
+        assert f.bounding_box == (1, 2, 3, 4)
+
+    def test_contains(self):
+        f = CircularField(1.0)
+        assert f.contains(np.array([[0.5, 0.5]]))[0]
+        assert not f.contains(np.array([[1.0, 1.0]]))[0]
+
+    def test_ray_exit_from_center(self):
+        f = CircularField(3.0)
+        d = f.ray_exit_distance(np.array([[0.0, 0.0]]), np.array([[1.0, 0.0]]))
+        assert d[0] == pytest.approx(3.0)
+
+    def test_ray_exit_off_center(self):
+        f = CircularField(3.0)
+        d = f.ray_exit_distance(np.array([[1.0, 0.0]]), np.array([[1.0, 0.0]]))
+        assert d[0] == pytest.approx(2.0)
+        d = f.ray_exit_distance(np.array([[1.0, 0.0]]), np.array([[-1.0, 0.0]]))
+        assert d[0] == pytest.approx(4.0)
+
+    def test_ray_from_outside_raises(self):
+        f = CircularField(1.0)
+        with pytest.raises(GeometryError):
+            f.ray_exit_distance(np.array([[2.0, 0.0]]), np.array([[1.0, 0.0]]))
+
+    def test_sample_uniform_inside(self):
+        f = CircularField(2.0, center=(1, 1))
+        pts = f.sample_uniform(300, np.random.default_rng(0))
+        assert f.contains(pts).all()
+
+    def test_clip_projects_onto_disc(self):
+        f = CircularField(1.0)
+        out = f.clip(np.array([[3.0, 0.0]]))
+        assert np.hypot(*out[0]) == pytest.approx(1.0)
+
+    def test_bad_center_raises(self):
+        with pytest.raises(ConfigurationError):
+            CircularField(1.0, center=(1, 2, 3))
+
+
+class TestPolygonField:
+    def _square(self):
+        return PolygonField([(0, 0), (4, 0), (4, 4), (0, 4)])
+
+    def test_area(self):
+        assert self._square().area == pytest.approx(16.0)
+
+    def test_clockwise_vertices_normalized(self):
+        f = PolygonField([(0, 0), (0, 4), (4, 4), (4, 0)])
+        assert f.area == pytest.approx(16.0)
+
+    def test_contains(self):
+        f = self._square()
+        assert f.contains(np.array([[2.0, 2.0]]))[0]
+        assert not f.contains(np.array([[5.0, 2.0]]))[0]
+
+    def test_ray_exit_matches_rectangle(self):
+        poly = self._square()
+        rect = RectangularField(4, 4)
+        origins = np.array([[1.0, 2.0], [3.0, 1.0]])
+        dirs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_allclose(
+            poly.ray_exit_distance(origins, dirs),
+            rect.ray_exit_distance(origins, dirs),
+        )
+
+    def test_triangle(self):
+        f = PolygonField([(0, 0), (4, 0), (0, 4)])
+        assert f.area == pytest.approx(8.0)
+        d = f.ray_exit_distance(np.array([[1.0, 1.0]]), np.array([[1.0, 0.0]]))
+        assert d[0] == pytest.approx(2.0)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ConfigurationError):
+            PolygonField([(0, 0), (1, 1), (2, 2)])
+
+    def test_too_few_vertices_raises(self):
+        with pytest.raises(ConfigurationError):
+            PolygonField([(0, 0), (1, 0)])
+
+    def test_nonconvex_raises(self):
+        with pytest.raises(ConfigurationError):
+            PolygonField([(0, 0), (4, 0), (1, 1), (0, 4)])
+
+    def test_sample_uniform_inside(self):
+        f = PolygonField([(0, 0), (4, 0), (0, 4)])
+        pts = f.sample_uniform(200, np.random.default_rng(0))
+        assert pts.shape == (200, 2)
+        assert f.contains(pts).all()

@@ -1,0 +1,129 @@
+"""End-to-end integration tests: the full attack pipelines."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MeasurementModel,
+    NLSLocalizer,
+    SequentialMonteCarloTracker,
+    TrackerConfig,
+    build_network,
+    build_synthetic_dataset,
+    sample_sniffers_percentage,
+    simulate_flux,
+    synchronous_schedule,
+)
+from repro.mobility import linear_trajectory
+from repro.smc.association import tracking_errors_over_time
+from repro.traffic import DropoutNoise, FluxSimulator, GaussianNoise
+
+
+@pytest.mark.slow
+class TestLocalizationPipeline:
+    def test_two_users_end_to_end(self, paper_network):
+        gen = np.random.default_rng(5)
+        truth = paper_network.field.sample_uniform(2, gen)
+        stretches = gen.uniform(1.0, 3.0, 2)
+        flux = simulate_flux(paper_network, list(truth), list(stretches), rng=gen)
+        sniffers = sample_sniffers_percentage(paper_network, 10, rng=gen)
+        obs = MeasurementModel(
+            paper_network, sniffers, smooth=True, rng=gen
+        ).observe(flux)
+        loc = NLSLocalizer(
+            paper_network.field, paper_network.positions[sniffers]
+        )
+        result = loc.localize(
+            obs, user_count=2, candidate_count=2000, restarts=3, rng=gen
+        )
+        errors = result.errors_to(truth)
+        assert errors.mean() < 5.0  # single-seed sanity; bench averages
+
+    def test_robust_to_gaussian_noise(self, paper_network):
+        gen = np.random.default_rng(6)
+        truth = paper_network.field.sample_uniform(1, gen)
+        flux = simulate_flux(paper_network, list(truth), [2.0], rng=gen)
+        sniffers = sample_sniffers_percentage(paper_network, 10, rng=gen)
+        obs = MeasurementModel(
+            paper_network,
+            sniffers,
+            noise=GaussianNoise(0.1),
+            smooth=True,
+            rng=gen,
+        ).observe(flux)
+        loc = NLSLocalizer(
+            paper_network.field, paper_network.positions[sniffers]
+        )
+        result = loc.localize(
+            obs, user_count=1, candidate_count=2000, restarts=2, rng=gen
+        )
+        assert float(result.errors_to(truth)[0]) < 5.0
+
+    def test_robust_to_dropout(self, paper_network):
+        gen = np.random.default_rng(7)
+        truth = paper_network.field.sample_uniform(1, gen)
+        flux = simulate_flux(paper_network, list(truth), [2.0], rng=gen)
+        sniffers = sample_sniffers_percentage(paper_network, 20, rng=gen)
+        obs = MeasurementModel(
+            paper_network,
+            sniffers,
+            noise=DropoutNoise(0.3),
+            smooth=True,
+            rng=gen,
+        ).observe(flux)
+        loc = NLSLocalizer(
+            paper_network.field, paper_network.positions[sniffers]
+        )
+        result = loc.localize(
+            obs, user_count=1, candidate_count=2000, restarts=2, rng=gen
+        )
+        assert float(result.errors_to(truth)[0]) < 5.0
+
+
+@pytest.mark.slow
+class TestTrackingPipeline:
+    def test_linear_user_tracked(self, paper_network):
+        gen = np.random.default_rng(8)
+        rounds = 8
+        traj = linear_trajectory((5.0, 5.0), (25.0, 20.0), rounds)
+        schedule = synchronous_schedule([traj.positions], [2.0])
+        sim = FluxSimulator(paper_network, rng=gen)
+        sniffers = sample_sniffers_percentage(paper_network, 10, rng=gen)
+        measure = MeasurementModel(paper_network, sniffers, smooth=True, rng=gen)
+        tracker = SequentialMonteCarloTracker(
+            paper_network.field,
+            paper_network.positions[sniffers],
+            user_count=1,
+            config=TrackerConfig(
+                prediction_count=500, keep_count=10, max_speed=5.0
+            ),
+            rng=gen,
+        )
+        steps = []
+        for t, events in schedule.windows(1.0):
+            flux = sim.window_flux(events).total
+            steps.append(tracker.step(measure.observe(flux, time=t)))
+        errors = tracking_errors_over_time(steps, [traj.positions])
+        # Converged accuracy beats the initial guess.
+        assert errors[-3:].mean() < errors[0].mean()
+        assert errors[-1].mean() < 4.0
+
+    def test_trace_driven_smoke(self):
+        """Small end-to-end trace-driven run completes and scores."""
+        from repro.experiments.config import PaperDefaults
+        from repro.experiments.trace_driven import _run_trace_tracking
+
+        net = build_network(node_count=400, radius=2.4,
+                            field=None, rng=3)
+        dataset = build_synthetic_dataset(user_count=12, ap_count=150, rng=4)
+        error = _run_trace_tracking(
+            net,
+            dataset,
+            user_count=3,
+            sniffer_percentage=15.0,
+            resampling_radius=8.0,
+            defaults=PaperDefaults().scaled(5),
+            gen=np.random.default_rng(5),
+            window_count=24,
+        )
+        assert 0 <= error < 15.0

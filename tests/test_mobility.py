@@ -1,0 +1,131 @@
+"""Trajectory and movement-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import RectangularField
+from repro.mobility import (
+    Trajectory,
+    crossing_trajectories,
+    linear_trajectory,
+    random_walk_trajectory,
+    random_waypoint_trajectory,
+)
+
+
+class TestTrajectory:
+    def _traj(self):
+        return Trajectory(
+            times=np.array([0.0, 1.0, 3.0]),
+            positions=np.array([[0.0, 0.0], [2.0, 0.0], [2.0, 4.0]]),
+        )
+
+    def test_duration_and_length(self):
+        t = self._traj()
+        assert t.duration == 3.0
+        assert t.length == pytest.approx(6.0)
+
+    def test_at_interpolates(self):
+        t = self._traj()
+        np.testing.assert_allclose(t.at(0.5), [1.0, 0.0])
+        np.testing.assert_allclose(t.at(2.0), [2.0, 2.0])
+
+    def test_at_clamps(self):
+        t = self._traj()
+        np.testing.assert_allclose(t.at(-1.0), [0.0, 0.0])
+        np.testing.assert_allclose(t.at(99.0), [2.0, 4.0])
+
+    def test_sample_matches_at(self):
+        t = self._traj()
+        times = np.array([0.25, 1.5, 2.75])
+        sampled = t.sample(times)
+        for i, tt in enumerate(times):
+            np.testing.assert_allclose(sampled[i], t.at(tt))
+
+    def test_max_speed(self):
+        t = self._traj()
+        assert t.max_speed() == pytest.approx(2.0)
+
+    def test_compress_time(self):
+        t = self._traj().compress_time(2.0)
+        assert t.duration == pytest.approx(1.5)
+        np.testing.assert_allclose(t.positions, self._traj().positions)
+
+    def test_compress_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            self._traj().compress_time(0.0)
+
+    def test_shift_time(self):
+        t = self._traj().shift_time(10.0)
+        assert t.times[0] == 10.0
+
+    def test_segment(self):
+        seg = self._traj().segment(0.5, 2.0)
+        assert seg.times[0] == 0.5
+        assert seg.times[-1] == 2.0
+        np.testing.assert_allclose(seg.positions[0], [1.0, 0.0])
+        np.testing.assert_allclose(seg.positions[-1], [2.0, 2.0])
+
+    def test_segment_out_of_span_raises(self):
+        with pytest.raises(ConfigurationError):
+            self._traj().segment(-1.0, 2.0)
+
+    def test_nonincreasing_times_raise(self):
+        with pytest.raises(ConfigurationError):
+            Trajectory(times=np.array([0.0, 0.0]), positions=np.zeros((2, 2)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            Trajectory(times=np.array([0.0, 1.0]), positions=np.zeros((3, 2)))
+
+    def test_single_point_trajectory(self):
+        t = Trajectory(times=np.array([1.0]), positions=np.array([[2.0, 3.0]]))
+        assert t.duration == 0.0
+        assert t.length == 0.0
+        assert t.max_speed() == 0.0
+
+
+class TestModels:
+    def test_linear_endpoints(self):
+        t = linear_trajectory((0, 0), (9, 0), rounds=10)
+        np.testing.assert_allclose(t.positions[0], [0, 0])
+        np.testing.assert_allclose(t.positions[-1], [9, 0])
+        assert t.max_speed() == pytest.approx(1.0)
+
+    def test_waypoint_within_field_and_speed(self):
+        field = RectangularField(20, 20)
+        t = random_waypoint_trajectory(field, rounds=30, speed=2.0, rng=0)
+        assert field.contains(t.positions).all()
+        assert t.max_speed() <= 2.0 + 1e-9
+
+    def test_waypoint_moves(self):
+        field = RectangularField(20, 20)
+        t = random_waypoint_trajectory(field, rounds=30, speed=2.0, rng=0)
+        assert t.length > 10.0
+
+    def test_walk_within_field_and_step(self):
+        field = RectangularField(20, 20)
+        t = random_walk_trajectory(field, rounds=30, max_step=1.5, rng=0)
+        assert field.contains(t.positions).all()
+        steps = np.linalg.norm(np.diff(t.positions, axis=0), axis=1)
+        assert np.all(steps <= 1.5 + 1e-9)
+
+    def test_crossing_trajectories_intersect(self):
+        field = RectangularField(30, 30)
+        a, b = crossing_trajectories(field, rounds=11)
+        mid = 5
+        d = np.linalg.norm(a.positions[mid] - b.positions[mid])
+        assert d < 1e-9  # both at the center at the middle round
+
+    def test_crossing_same_rounds(self):
+        field = RectangularField(30, 30)
+        a, b = crossing_trajectories(field, rounds=8)
+        assert a.times.size == b.times.size == 8
+
+    def test_bad_rounds_raise(self):
+        field = RectangularField(10, 10)
+        with pytest.raises(ConfigurationError):
+            linear_trajectory((0, 0), (1, 1), rounds=0)
+        with pytest.raises(ConfigurationError):
+            crossing_trajectories(field, rounds=1)

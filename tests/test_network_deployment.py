@@ -1,0 +1,106 @@
+"""Deployment strategy tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import CircularField, RectangularField
+from repro.network import (
+    deploy_perturbed_grid,
+    deploy_poisson,
+    deploy_uniform_random,
+)
+
+
+class TestUniformRandom:
+    def test_count_and_containment(self):
+        field = RectangularField(10, 10)
+        pts = deploy_uniform_random(field, 150, rng=0)
+        assert pts.shape == (150, 2)
+        assert field.contains(pts).all()
+
+    def test_reproducible(self):
+        field = RectangularField(10, 10)
+        np.testing.assert_array_equal(
+            deploy_uniform_random(field, 10, rng=5),
+            deploy_uniform_random(field, 10, rng=5),
+        )
+
+    def test_zero_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            deploy_uniform_random(RectangularField(10, 10), 0)
+
+    def test_works_on_circle(self):
+        field = CircularField(5.0)
+        pts = deploy_uniform_random(field, 50, rng=1)
+        assert field.contains(pts).all()
+
+
+class TestPerturbedGrid:
+    def test_count_exact(self):
+        field = RectangularField(30, 30)
+        pts = deploy_perturbed_grid(field, 900, rng=0)
+        assert pts.shape == (900, 2)
+
+    def test_containment(self):
+        field = RectangularField(30, 30)
+        pts = deploy_perturbed_grid(field, 900, rng=0)
+        assert field.contains(pts).all()
+
+    def test_zero_perturbation_is_regular(self):
+        field = RectangularField(10, 10)
+        pts = deploy_perturbed_grid(field, 100, perturbation=0.0, rng=0)
+        xs = np.unique(np.round(pts[:, 0], 9))
+        assert xs.size == 10  # perfect 10x10 grid columns
+
+    def test_nonsquare_count(self):
+        field = RectangularField(10, 10)
+        pts = deploy_perturbed_grid(field, 37, rng=0)
+        assert pts.shape == (37, 2)
+
+    def test_covers_field_evenly(self):
+        field = RectangularField(20, 20)
+        pts = deploy_perturbed_grid(field, 400, rng=0)
+        # every quadrant gets about a quarter of the nodes
+        for qx in (0, 10):
+            for qy in (0, 10):
+                count = np.count_nonzero(
+                    (pts[:, 0] >= qx)
+                    & (pts[:, 0] < qx + 10)
+                    & (pts[:, 1] >= qy)
+                    & (pts[:, 1] < qy + 10)
+                )
+                assert 70 <= count <= 130
+
+    def test_perturbation_bounds_enforced(self):
+        field = RectangularField(10, 10)
+        with pytest.raises(ConfigurationError):
+            deploy_perturbed_grid(field, 100, perturbation=0.9)
+
+    def test_requires_rectangular_field(self):
+        with pytest.raises(ConfigurationError):
+            deploy_perturbed_grid(CircularField(5.0), 100)
+
+    def test_aspect_ratio_respected(self):
+        field = RectangularField(40, 10)
+        pts = deploy_perturbed_grid(field, 160, rng=0)
+        assert pts.shape == (160, 2)
+        assert field.contains(pts).all()
+
+
+class TestPoisson:
+    def test_mean_count(self):
+        field = RectangularField(20, 20)
+        counts = [
+            deploy_poisson(field, 0.5, rng=seed).shape[0] for seed in range(10)
+        ]
+        assert 150 <= np.mean(counts) <= 250  # mean 200
+
+    def test_containment(self):
+        field = RectangularField(20, 20)
+        pts = deploy_poisson(field, 0.5, rng=0)
+        assert field.contains(pts).all()
+
+    def test_bad_intensity_raises(self):
+        with pytest.raises(ConfigurationError):
+            deploy_poisson(RectangularField(10, 10), -1.0)

@@ -1,0 +1,133 @@
+"""Unit-disk graph tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GeometryError
+from repro.network.graph import UnitDiskGraph
+
+
+def _line_graph(n=5, spacing=1.0, radius=1.2):
+    pts = np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+    return UnitDiskGraph(pts, radius)
+
+
+class TestConstruction:
+    def test_line_graph_edges(self):
+        g = _line_graph()
+        assert g.edge_count == 4
+
+    def test_neighbors_of_interior_node(self):
+        g = _line_graph()
+        assert set(g.neighbors(2).tolist()) == {1, 3}
+
+    def test_neighbors_of_end_node(self):
+        g = _line_graph()
+        assert set(g.neighbors(0).tolist()) == {1}
+
+    def test_degrees(self):
+        g = _line_graph()
+        np.testing.assert_array_equal(g.degrees(), [1, 2, 2, 2, 1])
+
+    def test_average_degree(self):
+        assert _line_graph().average_degree() == pytest.approx(8 / 5)
+
+    def test_no_self_loops(self):
+        g = _line_graph()
+        for i in range(g.node_count):
+            assert i not in g.neighbors(i)
+
+    def test_symmetry(self):
+        gen = np.random.default_rng(0)
+        g = UnitDiskGraph(gen.uniform(0, 10, (60, 2)), 2.0)
+        for u in range(g.node_count):
+            for v in g.neighbors(u):
+                assert u in g.neighbors(int(v))
+
+    def test_radius_threshold_inclusive(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert UnitDiskGraph(pts, 1.0).edge_count == 1
+        assert UnitDiskGraph(pts, 0.99).edge_count == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            UnitDiskGraph(np.zeros((0, 2)), 1.0)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(GeometryError):
+            UnitDiskGraph(np.zeros((3, 3)), 1.0)
+
+    def test_bad_radius_raises(self):
+        with pytest.raises(ConfigurationError):
+            UnitDiskGraph(np.zeros((3, 2)), 0.0)
+
+    def test_neighbors_out_of_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            _line_graph().neighbors(100)
+
+
+class TestTraversals:
+    def test_bfs_hops_line(self):
+        g = _line_graph()
+        np.testing.assert_array_equal(g.bfs_hops(0), [0, 1, 2, 3, 4])
+
+    def test_bfs_from_middle(self):
+        g = _line_graph()
+        np.testing.assert_array_equal(g.bfs_hops(2), [2, 1, 0, 1, 2])
+
+    def test_bfs_unreachable(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [50.0, 0.0]])
+        g = UnitDiskGraph(pts, 1.5)
+        hops = g.bfs_hops(0)
+        assert hops[2] == -1
+
+    def test_is_connected(self):
+        assert _line_graph().is_connected()
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert not UnitDiskGraph(pts, 1.0).is_connected()
+
+    def test_connected_components(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [50.0, 0.0], [51.0, 0.0]])
+        labels = UnitDiskGraph(pts, 1.5).connected_components()
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_largest_component(self):
+        pts = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [50.0, 0.0], [51.0, 0.0]]
+        )
+        g = UnitDiskGraph(pts, 1.5)
+        assert set(g.largest_component_nodes().tolist()) == {0, 1, 2}
+
+    def test_bfs_bad_source_raises(self):
+        with pytest.raises(ConfigurationError):
+            _line_graph().bfs_hops(-1)
+
+
+class TestMetrics:
+    def test_edge_lengths_line(self):
+        g = _line_graph(spacing=0.7, radius=1.0)
+        lengths = g.edge_lengths()
+        assert lengths.size == 8  # directed entries
+        np.testing.assert_allclose(lengths, 0.7)
+
+    def test_to_networkx(self):
+        g = _line_graph()
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 5
+        assert nxg.number_of_edges() == 4
+
+    def test_matches_networkx_bfs(self):
+        import networkx as nx
+
+        gen = np.random.default_rng(1)
+        g = UnitDiskGraph(gen.uniform(0, 8, (50, 2)), 2.0)
+        nxg = g.to_networkx()
+        ours = g.bfs_hops(0)
+        theirs = nx.single_source_shortest_path_length(nxg, 0)
+        for node in range(50):
+            if node in theirs:
+                assert ours[node] == theirs[node]
+            else:
+                assert ours[node] == -1

@@ -1,0 +1,127 @@
+"""Network bundle and sniffer sampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ConnectivityError
+from repro.geometry import RectangularField
+from repro.network import (
+    Network,
+    build_network,
+    sample_sniffers_percentage,
+    sample_sniffers_random,
+    sample_sniffers_stratified,
+)
+from repro.network.graph import UnitDiskGraph
+
+
+class TestBuildNetwork:
+    def test_paper_defaults(self, paper_network):
+        assert paper_network.node_count == 900
+        assert paper_network.radius == 2.4
+        assert 14 <= paper_network.average_degree() <= 22
+
+    def test_connected_by_default(self, paper_network):
+        assert paper_network.graph.is_connected()
+
+    def test_uniform_random_deployment(self):
+        net = build_network(
+            node_count=300, radius=2.5, deployment="uniform_random", rng=3
+        )
+        assert net.node_count == 300
+
+    def test_unknown_deployment_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_network(deployment="hexagonal")
+
+    def test_impossible_connectivity_raises(self):
+        with pytest.raises(ConnectivityError):
+            build_network(node_count=20, radius=0.5, max_attempts=2, rng=0)
+
+    def test_custom_field(self):
+        field = RectangularField(12, 12)
+        net = build_network(field=field, node_count=144, radius=2.0, rng=1)
+        assert net.field is field
+
+    def test_reproducible(self):
+        field = RectangularField(12, 12)
+        a = build_network(field=field, node_count=100, radius=3.0, rng=7)
+        b = build_network(field=field, node_count=100, radius=3.0, rng=7)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+
+class TestNetwork:
+    def test_mismatched_graph_raises(self, small_field):
+        positions = small_field.sample_uniform(10, np.random.default_rng(0))
+        graph = UnitDiskGraph(positions[:5], 2.0)
+        with pytest.raises(ConfigurationError):
+            Network(field=small_field, positions=positions, graph=graph)
+
+    def test_nearest_node(self, small_network):
+        target = small_network.positions[17]
+        assert small_network.nearest_node(target) == 17
+
+    def test_nearest_node_off_grid(self, small_network):
+        idx = small_network.nearest_node(np.array([7.5, 7.5]))
+        d = np.hypot(
+            small_network.positions[:, 0] - 7.5,
+            small_network.positions[:, 1] - 7.5,
+        )
+        assert idx == int(np.argmin(d))
+
+    def test_average_hop_distance_bounded_by_radius(self, small_network):
+        r = small_network.average_hop_distance()
+        assert 0 < r <= small_network.radius
+
+
+class TestSniffers:
+    def test_random_count(self, small_network):
+        s = sample_sniffers_random(small_network, 30, rng=0)
+        assert s.size == 30
+        assert np.unique(s).size == 30
+
+    def test_random_sorted(self, small_network):
+        s = sample_sniffers_random(small_network, 10, rng=0)
+        assert np.all(np.diff(s) > 0)
+
+    def test_random_bounds(self, small_network):
+        with pytest.raises(ConfigurationError):
+            sample_sniffers_random(small_network, 0)
+        with pytest.raises(ConfigurationError):
+            sample_sniffers_random(small_network, small_network.node_count + 1)
+
+    def test_percentage(self, small_network):
+        s = sample_sniffers_percentage(small_network, 20.0, rng=0)
+        assert s.size == round(small_network.node_count * 0.2)
+
+    def test_percentage_at_least_one(self, small_network):
+        s = sample_sniffers_percentage(small_network, 0.01, rng=0)
+        assert s.size == 1
+
+    def test_percentage_bounds(self, small_network):
+        with pytest.raises(ConfigurationError):
+            sample_sniffers_percentage(small_network, 0.0)
+        with pytest.raises(ConfigurationError):
+            sample_sniffers_percentage(small_network, 150.0)
+
+    def test_stratified_count_and_distinct(self, small_network):
+        s = sample_sniffers_stratified(small_network, 25, rng=0)
+        assert s.size == 25
+        assert np.unique(s).size == 25
+
+    def test_stratified_covers_quadrants(self, small_network):
+        s = sample_sniffers_stratified(small_network, 36, rng=0)
+        pts = small_network.positions[s]
+        for qx in (0, 7.5):
+            for qy in (0, 7.5):
+                inside = (
+                    (pts[:, 0] >= qx)
+                    & (pts[:, 0] < qx + 7.5)
+                    & (pts[:, 1] >= qy)
+                    & (pts[:, 1] < qy + 7.5)
+                )
+                assert inside.sum() >= 3
+
+    def test_stratified_bounds(self, small_network):
+        with pytest.raises(ConfigurationError):
+            sample_sniffers_stratified(small_network, 0)

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.fluxmodel.continuous import continuous_flux
+from repro.geometry import CircularField, RectangularField
+from repro.geometry.grid import SpatialHashGrid
+from repro.routing.tree import CollectionTree
+from repro.smc.weighting import effective_sample_size, importance_weights
+from repro.util.stats import empirical_cdf
+
+
+# ----------------------------------------------------------------------
+# Geometry
+# ----------------------------------------------------------------------
+points_inside = st.tuples(
+    st.floats(0.01, 9.99), st.floats(0.01, 9.99)
+).map(lambda p: np.array(p))
+
+unit_angles = st.floats(0.0, 2 * np.pi - 1e-9)
+
+
+@given(origin=points_inside, angle=unit_angles)
+@settings(max_examples=200, deadline=None)
+def test_rect_ray_exit_lands_on_boundary(origin, angle):
+    field = RectangularField(10, 10)
+    direction = np.array([np.cos(angle), np.sin(angle)])
+    t = field.ray_exit_distance(origin[None, :], direction[None, :])[0]
+    exit_point = origin + t * direction
+    on_x = min(abs(exit_point[0] - 0), abs(exit_point[0] - 10))
+    on_y = min(abs(exit_point[1] - 0), abs(exit_point[1] - 10))
+    assert min(on_x, on_y) < 1e-6
+    assert field.contains(exit_point[None, :])[0]
+
+
+@given(origin=points_inside, angle=unit_angles)
+@settings(max_examples=100, deadline=None)
+def test_rect_ray_exit_positive_and_bounded(origin, angle):
+    field = RectangularField(10, 10)
+    direction = np.array([np.cos(angle), np.sin(angle)])
+    t = field.ray_exit_distance(origin[None, :], direction[None, :])[0]
+    assert 0 < t <= field.diameter + 1e-9
+
+
+@given(
+    cx=st.floats(-3, 3),
+    cy=st.floats(-3, 3),
+    radius=st.floats(0.5, 5.0),
+    angle=unit_angles,
+    rho=st.floats(0.0, 0.95),
+)
+@settings(max_examples=150, deadline=None)
+def test_circle_ray_exit_lands_on_circle(cx, cy, radius, angle, rho):
+    field = CircularField(radius, center=(cx, cy))
+    origin = np.array([cx + rho * radius * np.cos(angle + 1.0),
+                       cy + rho * radius * np.sin(angle + 1.0)])
+    direction = np.array([np.cos(angle), np.sin(angle)])
+    t = field.ray_exit_distance(origin[None, :], direction[None, :])[0]
+    exit_point = origin + t * direction
+    dist = np.hypot(exit_point[0] - cx, exit_point[1] - cy)
+    assert dist == pytest.approx(radius, abs=1e-6)
+
+
+@given(
+    pts=hnp.arrays(
+        float, st.tuples(st.integers(2, 40), st.just(2)),
+        elements=st.floats(-20, 20),
+    ),
+    radius=st.floats(0.5, 10.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_grid_pairs_symmetric_against_bruteforce(pts, radius):
+    grid = SpatialHashGrid(pts, cell_size=max(radius / 2, 0.1))
+    rows, cols = grid.all_pairs_within(radius)
+    got = set(zip(rows.tolist(), cols.tolist()))
+    n = pts.shape[0]
+    want = {
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if np.hypot(*(pts[i] - pts[j])) <= radius
+    }
+    assert got == want
+
+
+# ----------------------------------------------------------------------
+# Flux model
+# ----------------------------------------------------------------------
+@given(
+    d=st.floats(0.01, 10.0),
+    extra=st.floats(0.0, 10.0),
+    s=st.floats(0.0, 5.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_continuous_flux_nonnegative_and_scales(d, extra, s):
+    l = d + extra
+    f1 = continuous_flux(d, l, stretch=1.0)
+    fs = continuous_flux(d, l, stretch=s)
+    assert f1 >= 0
+    assert fs == pytest.approx(s * f1, rel=1e-9, abs=1e-12)
+
+
+@given(d1=st.floats(0.5, 5.0), d2=st.floats(0.5, 5.0))
+@settings(max_examples=100, deadline=None)
+def test_continuous_flux_monotone_in_d(d1, d2):
+    assume(abs(d1 - d2) > 1e-9)
+    l = 6.0
+    lo, hi = min(d1, d2), max(d1, d2)
+    assert continuous_flux(lo, l) >= continuous_flux(hi, l)
+
+
+# ----------------------------------------------------------------------
+# Trees: random parent arrays form valid trees with conserved mass
+# ----------------------------------------------------------------------
+@st.composite
+def random_trees(draw):
+    n = draw(st.integers(2, 30))
+    parents = np.zeros(n, dtype=np.int64)
+    hops = np.zeros(n, dtype=np.int64)
+    for i in range(1, n):
+        p = draw(st.integers(0, i - 1))
+        parents[i] = p
+        hops[i] = hops[p] + 1
+    return CollectionTree(root=0, parents=parents, hops=hops)
+
+
+@given(tree=random_trees(), w=st.floats(0.1, 5.0))
+@settings(max_examples=100, deadline=None)
+def test_tree_root_aggregate_conserves_mass(tree, w):
+    weights = np.full(tree.node_count, w)
+    agg = tree.subtree_aggregate(weights)
+    assert agg[tree.root] == pytest.approx(w * tree.node_count, rel=1e-9)
+
+
+@given(tree=random_trees())
+@settings(max_examples=100, deadline=None)
+def test_tree_parent_aggregate_at_least_child(tree):
+    agg = tree.subtree_aggregate()
+    for node in range(tree.node_count):
+        if tree.hops[node] > 0:
+            assert agg[tree.parents[node]] >= agg[node]
+
+
+@given(tree=random_trees())
+@settings(max_examples=50, deadline=None)
+def test_tree_paths_terminate_at_root(tree):
+    for node in range(tree.node_count):
+        path = tree.path_to_root(node)
+        assert path[-1] == tree.root
+        assert len(path) == tree.hops[node] + 1
+
+
+# ----------------------------------------------------------------------
+# SMC weighting
+# ----------------------------------------------------------------------
+@given(
+    parent_weights=hnp.arrays(
+        float, st.integers(1, 20), elements=st.floats(0.01, 10.0)
+    ),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_importance_weights_normalized_and_nonnegative(parent_weights, data):
+    m = parent_weights.shape[0]
+    n = data.draw(st.integers(1, 30))
+    parents = data.draw(
+        hnp.arrays(np.int64, n, elements=st.integers(0, m - 1))
+    )
+    objectives = data.draw(
+        hnp.arrays(float, n, elements=st.floats(0.0, 100.0))
+    )
+    w = importance_weights(parent_weights, parents, objectives)
+    assert w.shape == (n,)
+    assert np.all(w >= 0)
+    assert w.sum() == pytest.approx(1.0)
+
+
+@given(
+    weights=hnp.arrays(float, st.integers(1, 50), elements=st.floats(0.001, 10.0))
+)
+@settings(max_examples=100, deadline=None)
+def test_effective_sample_size_bounds(weights):
+    ess = effective_sample_size(weights)
+    assert 1.0 - 1e-9 <= ess <= weights.size + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+@given(
+    values=hnp.arrays(
+        float, st.integers(1, 100), elements=st.floats(-1e6, 1e6)
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_empirical_cdf_properties(values):
+    xs, ys = empirical_cdf(values)
+    assert xs.size == values.size
+    assert np.all(np.diff(xs) >= 0)
+    assert np.all(np.diff(ys) > 0)
+    assert ys[-1] == pytest.approx(1.0)

@@ -1,0 +1,142 @@
+"""Property-based tests on the domain layer: schedules, trajectories,
+flux simulation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import RectangularField
+from repro.mobility.trajectory import Trajectory
+from repro.traffic.events import CollectionEvent, CollectionSchedule
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+@st.composite
+def schedules(draw):
+    n = draw(st.integers(1, 30))
+    events = []
+    for i in range(n):
+        events.append(
+            CollectionEvent(
+                user=draw(st.integers(0, 4)),
+                time=draw(st.floats(0.0, 100.0)),
+                position=(draw(st.floats(0, 10)), draw(st.floats(0, 10))),
+                stretch=draw(st.floats(0.1, 3.0)),
+            )
+        )
+    return CollectionSchedule(events)
+
+
+@given(schedule=schedules(), delta=st.floats(0.5, 20.0))
+@settings(max_examples=100, deadline=None)
+def test_windows_partition_all_events(schedule, delta):
+    """Every event lands in exactly one window."""
+    windows = schedule.windows(delta)
+    total = sum(len(events) for _, events in windows)
+    assert total == len(schedule)
+
+
+@given(schedule=schedules(), delta=st.floats(0.5, 20.0))
+@settings(max_examples=100, deadline=None)
+def test_windows_events_within_bounds(schedule, delta):
+    for start, events in schedule.windows(delta):
+        for e in events:
+            assert start <= e.time < start + delta + 1e-9
+
+
+@given(schedule=schedules())
+@settings(max_examples=50, deadline=None)
+def test_schedule_time_sorted(schedule):
+    times = [e.time for e in schedule]
+    assert times == sorted(times)
+
+
+@given(schedule=schedules(), a=st.floats(0, 50), b=st.floats(50, 120))
+@settings(max_examples=50, deadline=None)
+def test_events_in_window_subset(schedule, a, b):
+    got = schedule.events_in_window(a, b)
+    assert all(a <= e.time < b for e in got)
+    want = [e for e in schedule if a <= e.time < b]
+    assert len(got) == len(want)
+
+
+# ----------------------------------------------------------------------
+# Trajectories
+# ----------------------------------------------------------------------
+@st.composite
+def trajectories(draw):
+    n = draw(st.integers(2, 20))
+    gaps = draw(
+        st.lists(st.floats(0.1, 5.0), min_size=n - 1, max_size=n - 1)
+    )
+    times = np.concatenate([[0.0], np.cumsum(gaps)])
+    xs = draw(st.lists(st.floats(0, 30), min_size=n, max_size=n))
+    ys = draw(st.lists(st.floats(0, 30), min_size=n, max_size=n))
+    return Trajectory(times=times, positions=np.column_stack([xs, ys]))
+
+
+@given(traj=trajectories(), factor=st.floats(1.1, 100.0))
+@settings(max_examples=100, deadline=None)
+def test_compression_scales_speed(traj, factor):
+    compressed = traj.compress_time(factor)
+    assert compressed.duration == pytest.approx(traj.duration / factor)
+    assert compressed.length == pytest.approx(traj.length)
+    if traj.max_speed() > 0:
+        assert compressed.max_speed() == pytest.approx(
+            traj.max_speed() * factor, rel=1e-6
+        )
+
+
+@given(traj=trajectories(), frac=st.floats(0.0, 1.0))
+@settings(max_examples=100, deadline=None)
+def test_interpolation_stays_on_segment_hull(traj, frac):
+    t = traj.times[0] + frac * traj.duration
+    p = traj.at(t)
+    assert traj.positions[:, 0].min() - 1e-9 <= p[0] <= traj.positions[:, 0].max() + 1e-9
+    assert traj.positions[:, 1].min() - 1e-9 <= p[1] <= traj.positions[:, 1].max() + 1e-9
+
+
+@given(traj=trajectories(), lo=st.floats(0.05, 0.45), hi=st.floats(0.55, 0.95))
+@settings(max_examples=60, deadline=None)
+def test_segment_endpoints_interpolate(traj, lo, hi):
+    start = traj.times[0] + lo * traj.duration
+    end = traj.times[0] + hi * traj.duration
+    assume(end - start > 1e-6)
+    seg = traj.segment(float(start), float(end))
+    np.testing.assert_allclose(seg.positions[0], traj.at(start), atol=1e-7)
+    np.testing.assert_allclose(seg.positions[-1], traj.at(end), atol=1e-7)
+    assert seg.times[0] == pytest.approx(start)
+    assert seg.times[-1] == pytest.approx(end)
+
+
+@given(traj=trajectories(), offset=st.floats(-50, 50))
+@settings(max_examples=60, deadline=None)
+def test_shift_preserves_geometry(traj, offset):
+    shifted = traj.shift_time(offset)
+    assert shifted.duration == pytest.approx(traj.duration)
+    np.testing.assert_allclose(shifted.positions, traj.positions)
+
+
+# ----------------------------------------------------------------------
+# Flux simulation invariants on a tiny fixed network
+# ----------------------------------------------------------------------
+@given(
+    sink=st.tuples(st.floats(0.5, 14.5), st.floats(0.5, 14.5)),
+    stretch=st.floats(0.1, 5.0),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_flux_conservation_property(small_network, sink, stretch, seed):
+    from repro.traffic import simulate_flux
+
+    flux = simulate_flux(
+        small_network, [np.asarray(sink)], [stretch], rng=seed
+    )
+    # Root carries everything; every node at least its own data.
+    assert flux.max() == pytest.approx(stretch * small_network.node_count)
+    assert np.all(flux >= stretch - 1e-9)
+    # Total relayed volume is bounded by depth * total generated.
+    assert flux.sum() <= stretch * small_network.node_count**2

@@ -1,0 +1,83 @@
+"""Property-based tests on the fitting layer (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fingerprint.objective import solve_thetas_batched
+from repro.fluxmodel.discrete import DiscreteFluxModel
+from repro.geometry import RectangularField
+from repro.smc.resampling import systematic_resample
+
+_FIELD = RectangularField(10, 10)
+_GEN = np.random.default_rng(12345)
+_NODES = _FIELD.sample_uniform(30, _GEN)
+_MODEL = DiscreteFluxModel(_FIELD, _NODES, d_floor=0.5)
+
+positions = st.tuples(st.floats(0.2, 9.8), st.floats(0.2, 9.8))
+
+
+@given(p=positions, scale=st.floats(0.1, 10.0))
+@settings(max_examples=100, deadline=None)
+def test_theta_recovery_scales_linearly(p, scale):
+    """Scaling the target scales the fitted theta, not the objective shape."""
+    g = _MODEL.geometry_kernel(np.array(p))
+    target = scale * g
+    thetas, objs = solve_thetas_batched(g[None, None, :], target)
+    assert thetas[0, 0] == pytest.approx(scale, rel=1e-6)
+    assert objs[0] == pytest.approx(0.0, abs=1e-6 * max(scale, 1.0))
+
+
+@given(p1=positions, p2=positions, t1=st.floats(0.1, 3.0), t2=st.floats(0.1, 3.0))
+@settings(max_examples=60, deadline=None)
+def test_adding_true_user_never_hurts_fit(p1, p2, t1, t2):
+    """The 2-user fit objective <= the best 1-user fit objective."""
+    g1 = _MODEL.geometry_kernel(np.array(p1))
+    g2 = _MODEL.geometry_kernel(np.array(p2))
+    target = t1 * g1 + t2 * g2
+    _, obj_single = solve_thetas_batched(g1[None, None, :], target)
+    _, obj_joint = solve_thetas_batched(
+        np.stack([g1, g2])[None, :, :], target
+    )
+    assert obj_joint[0] <= obj_single[0] + 1e-6
+
+
+@given(p=positions)
+@settings(max_examples=100, deadline=None)
+def test_kernel_peaks_near_sink(p):
+    """The kernel's largest value is at the node closest to the sink
+    (after the d_floor region)."""
+    sink = np.array(p)
+    g = _MODEL.geometry_kernel(sink)
+    d = np.hypot(_NODES[:, 0] - sink[0], _NODES[:, 1] - sink[1])
+    # All nodes beyond the clamp: kernel decreases with d along similar l;
+    # weaker, robust property: argmax kernel is among the 30% nearest nodes.
+    near_rank = np.argsort(d)
+    top_third = set(near_rank[: max(3, len(d) // 3)].tolist())
+    assert int(np.argmax(g)) in top_third
+
+
+@given(
+    weights=st.lists(st.floats(0.01, 1.0), min_size=2, max_size=15),
+    count=st.integers(10, 200),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_systematic_resample_floor_ceil(weights, count, seed):
+    """Each parent is drawn floor(w*n) or ceil(w*n) times."""
+    w = np.asarray(weights)
+    w = w / w.sum()
+    out = systematic_resample(w, count, np.random.default_rng(seed))
+    counts = np.bincount(out, minlength=w.size)
+    expected = w * count
+    assert np.all(counts >= np.floor(expected) - 1e-9)
+    assert np.all(counts <= np.ceil(expected) + 1e-9)
+
+
+@given(p=positions)
+@settings(max_examples=60, deadline=None)
+def test_kernel_nonnegative_and_finite(p):
+    g = _MODEL.geometry_kernel(np.array(p))
+    assert np.all(g >= 0)
+    assert np.all(np.isfinite(g))

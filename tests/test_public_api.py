@@ -1,0 +1,91 @@
+"""Public-API stability tests: exports, docstring example, version."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_subpackage_all_names_resolve(self):
+        import repro.fingerprint
+        import repro.fluxmodel
+        import repro.geometry
+        import repro.network
+        import repro.routing
+        import repro.smc
+        import repro.traces
+        import repro.traffic
+
+        for module in (
+            repro.geometry,
+            repro.network,
+            repro.routing,
+            repro.traffic,
+            repro.fluxmodel,
+            repro.fingerprint,
+            repro.smc,
+            repro.traces,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestDocstringExample:
+    def test_quickstart_example_runs(self):
+        """The example in repro's module docstring must actually work."""
+        net = repro.build_network(rng=1)
+        truth = net.field.sample_uniform(2, np.random.default_rng(2))
+        flux = repro.simulate_flux(net, list(truth), [2.0, 1.5], rng=3)
+        sniffers = repro.sample_sniffers_percentage(net, 10, rng=4)
+        obs = repro.MeasurementModel(net, sniffers, smooth=True, rng=5).observe(
+            flux
+        )
+        localizer = repro.NLSLocalizer(net.field, net.positions[sniffers])
+        result = localizer.localize(
+            obs, user_count=2, candidate_count=1500, rng=6
+        )
+        estimates = result.position_estimates()
+        errors = result.errors_to(truth)
+        assert estimates.shape == (2, 2)
+        assert errors.shape == (2,)
+        assert errors.mean() < net.field.diameter / 3
+
+
+class TestProxyDefenseEndToEnd:
+    @pytest.mark.slow
+    def test_attack_localizes_proxy_not_user(self, paper_network):
+        """The proxy defense redirects the fit to the proxy position."""
+        from repro.countermeasures import proxy_collection_flux
+        from repro.experiments.ablations import single_user_attack_error
+
+        gen = np.random.default_rng(3)
+        hits_proxy = 0
+        runs = 4
+        for rep in range(runs):
+            user = np.array([4.0, 4.0])
+            proxy = paper_network.nearest_node(np.array([25.0, 25.0]))
+            flux, _ = proxy_collection_flux(
+                paper_network, user, 2.0, rng=gen, proxy=proxy
+            )
+            proxy_pos = paper_network.positions[proxy]
+            err_to_user = single_user_attack_error(
+                paper_network, flux, user, np.random.default_rng(rep),
+                candidate_count=1500,
+            )
+            err_to_proxy = single_user_attack_error(
+                paper_network, flux, proxy_pos, np.random.default_rng(rep),
+                candidate_count=1500,
+            )
+            if err_to_proxy < err_to_user:
+                hits_proxy += 1
+        assert hits_proxy >= runs - 1

@@ -1,0 +1,146 @@
+"""Collection-tree construction and aggregation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ConnectivityError
+from repro.network.graph import UnitDiskGraph
+from repro.network.topology import Network
+from repro.geometry import RectangularField
+from repro.routing import CollectionTree, build_collection_tree
+
+
+def _line_network(n=6):
+    field = RectangularField(float(n), 2.0)
+    pts = np.column_stack([np.arange(n) + 0.5, np.ones(n)])
+    return Network(field=field, positions=pts, graph=UnitDiskGraph(pts, 1.2))
+
+
+class TestCollectionTree:
+    def _chain_tree(self, n=4):
+        parents = np.array([0] + list(range(n - 1)), dtype=np.int64)
+        hops = np.arange(n, dtype=np.int64)
+        return CollectionTree(root=0, parents=parents, hops=hops)
+
+    def test_subtree_sizes_chain(self):
+        tree = self._chain_tree(4)
+        np.testing.assert_allclose(tree.subtree_aggregate(), [4, 3, 2, 1])
+
+    def test_subtree_custom_weights(self):
+        tree = self._chain_tree(3)
+        np.testing.assert_allclose(
+            tree.subtree_aggregate(np.array([1.0, 2.0, 4.0])), [7, 6, 4]
+        )
+
+    def test_root_aggregate_equals_total(self, small_network):
+        tree = build_collection_tree(small_network, np.array([7.0, 7.0]), rng=0)
+        flux = tree.subtree_aggregate()
+        assert flux[tree.root] == pytest.approx(tree.reachable.sum())
+
+    def test_star_tree(self):
+        parents = np.array([0, 0, 0, 0], dtype=np.int64)
+        hops = np.array([0, 1, 1, 1], dtype=np.int64)
+        tree = CollectionTree(root=0, parents=parents, hops=hops)
+        np.testing.assert_allclose(tree.subtree_aggregate(), [4, 1, 1, 1])
+        np.testing.assert_array_equal(tree.children_counts(), [3, 0, 0, 0])
+
+    def test_unreachable_contribute_zero(self):
+        parents = np.array([0, 0, -1], dtype=np.int64)
+        hops = np.array([0, 1, -1], dtype=np.int64)
+        tree = CollectionTree(root=0, parents=parents, hops=hops)
+        agg = tree.subtree_aggregate()
+        np.testing.assert_allclose(agg, [2, 1, 0])
+
+    def test_path_to_root(self):
+        tree = self._chain_tree(4)
+        np.testing.assert_array_equal(tree.path_to_root(3), [3, 2, 1, 0])
+
+    def test_path_to_root_of_root(self):
+        tree = self._chain_tree(4)
+        np.testing.assert_array_equal(tree.path_to_root(0), [0])
+
+    def test_path_unreachable_raises(self):
+        parents = np.array([0, -1], dtype=np.int64)
+        hops = np.array([0, -1], dtype=np.int64)
+        tree = CollectionTree(root=0, parents=parents, hops=hops)
+        with pytest.raises(ConfigurationError):
+            tree.path_to_root(1)
+
+    def test_bad_root_raises(self):
+        with pytest.raises(ConfigurationError):
+            CollectionTree(
+                root=1,
+                parents=np.array([0, 0], dtype=np.int64),
+                hops=np.array([0, 1], dtype=np.int64),
+            )
+
+    def test_weights_shape_checked(self):
+        tree = self._chain_tree(3)
+        with pytest.raises(ConfigurationError):
+            tree.subtree_aggregate(np.ones(5))
+
+    def test_max_hops(self):
+        assert self._chain_tree(4).max_hops == 3
+
+
+class TestBuildCollectionTree:
+    def test_roots_at_nearest_node(self, small_network):
+        sink = np.array([3.3, 9.1])
+        tree = build_collection_tree(small_network, sink, rng=0)
+        assert tree.root == small_network.nearest_node(sink)
+
+    def test_explicit_root(self, small_network):
+        tree = build_collection_tree(small_network, np.zeros(2), root=42, rng=0)
+        assert tree.root == 42
+
+    def test_explicit_root_out_of_range(self, small_network):
+        with pytest.raises(ConfigurationError):
+            build_collection_tree(small_network, np.zeros(2), root=10_000)
+
+    def test_hops_match_bfs(self, small_network):
+        tree = build_collection_tree(small_network, np.array([1.0, 1.0]), rng=0)
+        bfs = small_network.graph.bfs_hops(tree.root)
+        np.testing.assert_array_equal(tree.hops, bfs)
+
+    def test_parents_one_hop_closer(self, small_network):
+        tree = build_collection_tree(small_network, np.array([7.0, 7.0]), rng=0)
+        for node in range(small_network.node_count):
+            if tree.hops[node] > 0:
+                assert tree.hops[tree.parents[node]] == tree.hops[node] - 1
+
+    def test_parents_are_neighbors(self, small_network):
+        tree = build_collection_tree(small_network, np.array([7.0, 7.0]), rng=0)
+        for node in range(small_network.node_count):
+            if tree.hops[node] > 0:
+                assert tree.parents[node] in small_network.graph.neighbors(node)
+
+    def test_line_tree_is_chain(self):
+        net = _line_network(6)
+        tree = build_collection_tree(net, np.array([0.5, 1.0]), rng=0)
+        np.testing.assert_array_equal(tree.hops, np.arange(6))
+
+    def test_random_tie_breaking_varies(self, small_network):
+        sink = np.array([7.0, 7.0])
+        trees = [
+            build_collection_tree(small_network, sink, rng=seed).parents
+            for seed in range(6)
+        ]
+        assert any(
+            not np.array_equal(trees[0], other) for other in trees[1:]
+        ), "tie-breaking should produce different trees across seeds"
+
+    def test_disconnected_raises_when_required(self):
+        field = RectangularField(20, 2)
+        pts = np.array([[0.5, 1.0], [1.0, 1.0], [19.0, 1.0]])
+        net = Network(field=field, positions=pts, graph=UnitDiskGraph(pts, 1.2))
+        with pytest.raises(ConnectivityError):
+            build_collection_tree(
+                net, np.array([0.5, 1.0]), require_connected=True, rng=0
+            )
+
+    def test_disconnected_tolerated_by_default(self):
+        field = RectangularField(20, 2)
+        pts = np.array([[0.5, 1.0], [1.0, 1.0], [19.0, 1.0]])
+        net = Network(field=field, positions=pts, graph=UnitDiskGraph(pts, 1.2))
+        tree = build_collection_tree(net, np.array([0.5, 1.0]), rng=0)
+        assert tree.hops[2] == -1

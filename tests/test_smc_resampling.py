@@ -1,0 +1,116 @@
+"""Resampling strategy tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.smc.resampling import (
+    multinomial_resample,
+    residual_resample,
+    resample,
+    systematic_resample,
+)
+
+ALL = [multinomial_resample, systematic_resample, residual_resample]
+
+
+@pytest.mark.parametrize("fn", ALL)
+class TestCommonContracts:
+    def test_output_shape_and_range(self, fn):
+        w = np.array([0.1, 0.2, 0.7])
+        out = fn(w, 50, np.random.default_rng(0))
+        assert out.shape == (50,)
+        assert out.min() >= 0 and out.max() < 3
+
+    def test_unbiased_proportions(self, fn):
+        w = np.array([0.2, 0.8])
+        out = fn(w, 10_000, np.random.default_rng(1))
+        frac = np.mean(out == 1)
+        assert 0.75 < frac < 0.85
+
+    def test_unnormalized_weights_accepted(self, fn):
+        out = fn(np.array([1.0, 3.0]), 1000, np.random.default_rng(2))
+        assert 0.65 < np.mean(out == 1) < 0.85
+
+    def test_zero_weight_never_selected(self, fn):
+        w = np.array([0.0, 1.0, 0.0])
+        out = fn(w, 200, np.random.default_rng(3))
+        assert np.all(out == 1)
+
+    def test_bad_count_raises(self, fn):
+        with pytest.raises(ConfigurationError):
+            fn(np.array([1.0]), 0, np.random.default_rng(0))
+
+    def test_negative_weights_raise(self, fn):
+        with pytest.raises(ConfigurationError):
+            fn(np.array([0.5, -0.5]), 10, np.random.default_rng(0))
+
+    def test_zero_sum_raises(self, fn):
+        with pytest.raises(ConfigurationError):
+            fn(np.zeros(3), 10, np.random.default_rng(0))
+
+
+class TestVarianceOrdering:
+    def test_systematic_has_lower_variance_than_multinomial(self):
+        w = np.full(10, 0.1)
+        counts_sys, counts_mult = [], []
+        for seed in range(50):
+            gen = np.random.default_rng(seed)
+            s = systematic_resample(w, 100, gen)
+            m = multinomial_resample(w, 100, gen)
+            counts_sys.append(np.bincount(s, minlength=10))
+            counts_mult.append(np.bincount(m, minlength=10))
+        var_sys = np.var(np.asarray(counts_sys))
+        var_mult = np.var(np.asarray(counts_mult))
+        assert var_sys < var_mult
+
+    def test_systematic_integer_counts(self):
+        # With exactly proportional weights, systematic resampling
+        # yields exactly proportional counts.
+        w = np.array([0.25, 0.75])
+        out = systematic_resample(w, 100, np.random.default_rng(0))
+        counts = np.bincount(out, minlength=2)
+        np.testing.assert_array_equal(counts, [25, 75])
+
+    def test_residual_deterministic_part(self):
+        w = np.array([0.5, 0.5])
+        out = residual_resample(w, 10, np.random.default_rng(0))
+        counts = np.bincount(out, minlength=2)
+        np.testing.assert_array_equal(counts, [5, 5])
+
+
+class TestDispatch:
+    def test_known_methods(self):
+        w = np.array([1.0, 1.0])
+        for method in ("multinomial", "systematic", "residual"):
+            out = resample(method, w, 10, np.random.default_rng(0))
+            assert out.shape == (10,)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ConfigurationError):
+            resample("bogus", np.array([1.0]), 10, np.random.default_rng(0))
+
+    def test_tracker_config_accepts_resampling(self):
+        from repro.smc import TrackerConfig
+
+        cfg = TrackerConfig(resampling="systematic")
+        assert cfg.resampling == "systematic"
+        with pytest.raises(ConfigurationError):
+            TrackerConfig(resampling="bogus")
+
+    def test_predict_samples_method_param(self, small_network):
+        from repro.smc.prediction import predict_samples
+        from repro.smc.samples import UserSamples
+
+        samples = UserSamples(
+            positions=np.array([[5.0, 5.0], [9.0, 9.0]]),
+            weights=np.array([0.5, 0.5]),
+            t_last=0.0,
+        )
+        for method in ("multinomial", "systematic", "residual"):
+            positions, parents = predict_samples(
+                small_network.field, samples, 1.0, 40,
+                np.random.default_rng(0), method=method,
+            )
+            assert positions.shape == (40, 2)
+            assert parents.shape == (40,)

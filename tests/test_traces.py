@@ -1,0 +1,241 @@
+"""Synthetic trace pipeline tests: APs, generation, parsing, conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.geometry import RectangularField
+from repro.mobility import Trajectory
+from repro.traces import (
+    SyntheticTraceConfig,
+    build_synthetic_dataset,
+    generate_campus_aps,
+    generate_syslog_records,
+    parse_syslog_records,
+    select_rectangular_region,
+    associations_to_trajectory,
+    scale_to_field,
+)
+from repro.traces.mobility_convert import intercept_and_compress
+
+
+class TestAps:
+    def test_count_and_bounds(self):
+        aps = generate_campus_aps(count=120, campus_extent=100.0, rng=0)
+        assert len(aps) == 120
+        pos = np.array([ap.position for ap in aps])
+        assert np.all(pos >= 0) and np.all(pos <= 100)
+
+    def test_names_unique(self):
+        aps = generate_campus_aps(count=80, rng=0)
+        assert len({ap.name for ap in aps}) == 80
+
+    def test_clustered_by_building(self):
+        aps = generate_campus_aps(count=200, building_count=10, rng=0)
+        buildings = {ap.building for ap in aps}
+        assert len(buildings) <= 10
+
+    def test_select_region_count(self):
+        aps = generate_campus_aps(count=300, rng=1)
+        selected, rect = select_rectangular_region(aps, target_count=50)
+        assert len(selected) == 50
+        xmin, ymin, xmax, ymax = rect
+        for ap in selected:
+            assert xmin <= ap.position[0] <= xmax
+            assert ymin <= ap.position[1] <= ymax
+
+    def test_select_too_many_raises(self):
+        aps = generate_campus_aps(count=10, rng=0)
+        with pytest.raises(ConfigurationError):
+            select_rectangular_region(aps, target_count=20)
+
+
+class TestSyntheticRecords:
+    def test_format(self):
+        aps = generate_campus_aps(count=30, rng=0)
+        lines = generate_syslog_records(aps, user_count=3, rng=1)
+        assert lines
+        for line in lines[:50]:
+            parts = line.split("\t")
+            assert len(parts) == 4
+            int(parts[0])
+            assert parts[3] in ("assoc", "reassoc", "disassoc")
+
+    def test_time_sorted(self):
+        aps = generate_campus_aps(count=30, rng=0)
+        lines = generate_syslog_records(aps, user_count=3, rng=1)
+        times = [int(l.split("\t")[0]) for l in lines]
+        assert times == sorted(times)
+
+    def test_user_count_macs(self):
+        aps = generate_campus_aps(count=30, rng=0)
+        lines = generate_syslog_records(aps, user_count=4, rng=1)
+        macs = {l.split("\t")[1] for l in lines}
+        assert len(macs) == 4
+
+    def test_horizon_respected(self):
+        aps = generate_campus_aps(count=30, rng=0)
+        cfg = SyntheticTraceConfig(horizon=10_000.0)
+        lines = generate_syslog_records(aps, user_count=2, config=cfg, rng=1)
+        assert max(int(l.split("\t")[0]) for l in lines) <= 10_000
+
+    def test_locality_of_hops(self):
+        """Consecutive APs in a session are spatially close on average."""
+        aps = generate_campus_aps(count=100, campus_extent=300.0, rng=0)
+        positions = {ap.name: np.array(ap.position) for ap in aps}
+        lines = generate_syslog_records(aps, user_count=2, rng=1)
+        parsed = parse_syslog_records(lines)
+        hop_dists = []
+        for seq in parsed.values():
+            for (t1, a1), (t2, a2) in zip(seq, seq[1:]):
+                if t2 - t1 < 6 * 3600:  # same session
+                    hop_dists.append(
+                        np.linalg.norm(positions[a1] - positions[a2])
+                    )
+        assert np.median(hop_dists) < 150.0  # far below uniform expectation
+
+    def test_bad_user_count_raises(self):
+        aps = generate_campus_aps(count=10, rng=0)
+        with pytest.raises(ConfigurationError):
+            generate_syslog_records(aps, user_count=0)
+
+
+class TestParser:
+    def test_roundtrip(self):
+        aps = generate_campus_aps(count=20, rng=0)
+        lines = generate_syslog_records(aps, user_count=2, rng=1)
+        parsed = parse_syslog_records(lines)
+        assert len(parsed) == 2
+        for seq in parsed.values():
+            times = [t for t, _ in seq]
+            assert times == sorted(times)
+
+    def test_disassoc_excluded_by_default(self):
+        lines = [
+            "100\tmac1\tAP1\tassoc",
+            "200\tmac1\tAP1\tdisassoc",
+        ]
+        parsed = parse_syslog_records(lines)
+        assert len(parsed["mac1"]) == 1
+
+    def test_blank_and_comment_lines_skipped(self):
+        lines = ["", "# comment", "100\tm\tA\tassoc"]
+        assert len(parse_syslog_records(lines)["m"]) == 1
+
+    def test_malformed_line_raises_with_lineno(self):
+        with pytest.raises(TraceError, match="line 2"):
+            parse_syslog_records(["100\tm\tA\tassoc", "bad line"])
+
+    def test_bad_timestamp_raises(self):
+        with pytest.raises(TraceError):
+            parse_syslog_records(["xx\tm\tA\tassoc"])
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(TraceError):
+            parse_syslog_records(["100\tm\tA\tteleport"])
+
+    def test_empty_input_raises(self):
+        with pytest.raises(TraceError):
+            parse_syslog_records([])
+
+
+class TestConversion:
+    def test_associations_to_trajectory(self):
+        positions = {"A": (0.0, 0.0), "B": (10.0, 0.0)}
+        traj = associations_to_trajectory(
+            [(0.0, "A"), (10.0, "B"), (20.0, "A")], positions
+        )
+        assert traj.times.size == 3
+        np.testing.assert_allclose(traj.positions[1], [10.0, 0.0])
+
+    def test_unknown_ap_dropped(self):
+        positions = {"A": (0.0, 0.0), "B": (1.0, 1.0)}
+        traj = associations_to_trajectory(
+            [(0.0, "A"), (5.0, "X"), (10.0, "B")], positions
+        )
+        assert traj.times.size == 2
+
+    def test_unknown_ap_raises_when_strict(self):
+        with pytest.raises(TraceError):
+            associations_to_trajectory(
+                [(0.0, "X"), (1.0, "X")], {"A": (0.0, 0.0)}, drop_unknown=False
+            )
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(TraceError):
+            associations_to_trajectory([(0.0, "A")], {"A": (0.0, 0.0)})
+
+    def test_duplicate_timestamps_deduplicated(self):
+        positions = {"A": (0.0, 0.0), "B": (1.0, 1.0)}
+        traj = associations_to_trajectory(
+            [(0.0, "A"), (0.0, "B"), (5.0, "A")], positions
+        )
+        assert traj.times.size == 2
+        np.testing.assert_allclose(traj.positions[0], [1.0, 1.0])
+
+    def test_scale_to_field(self):
+        field = RectangularField(30, 30)
+        traj = Trajectory(
+            times=np.array([0.0, 1.0]),
+            positions=np.array([[100.0, 200.0], [110.0, 220.0]]),
+        )
+        scaled = scale_to_field(traj, (100.0, 200.0, 110.0, 220.0), field)
+        np.testing.assert_allclose(scaled.positions[0], [0.0, 0.0])
+        np.testing.assert_allclose(scaled.positions[1], [30.0, 30.0])
+
+    def test_scale_degenerate_rect_raises(self):
+        field = RectangularField(30, 30)
+        traj = Trajectory(
+            times=np.array([0.0, 1.0]), positions=np.zeros((2, 2))
+        )
+        with pytest.raises(ConfigurationError):
+            scale_to_field(traj, (0.0, 0.0, 0.0, 10.0), field)
+
+    def test_intercept_and_compress(self):
+        traj = Trajectory(
+            times=np.linspace(0, 1000, 11),
+            positions=np.column_stack([np.linspace(0, 10, 11), np.zeros(11)]),
+        )
+        out = intercept_and_compress(traj, segment_duration=500, compression=100)
+        assert out.times[0] == 0.0
+        assert out.duration == pytest.approx(5.0)
+
+    def test_intercept_start_fraction(self):
+        traj = Trajectory(
+            times=np.linspace(0, 1000, 11),
+            positions=np.column_stack([np.linspace(0, 10, 11), np.zeros(11)]),
+        )
+        early = intercept_and_compress(traj, 200, 100, start_fraction=0.0)
+        late = intercept_and_compress(traj, 200, 100, start_fraction=1.0)
+        assert early.positions[0, 0] == pytest.approx(0.0)
+        assert late.positions[0, 0] == pytest.approx(8.0)
+
+
+class TestDataset:
+    def test_build_and_usable(self):
+        ds = build_synthetic_dataset(user_count=10, ap_count=100, rng=0)
+        assert len(ds.aps) == 50
+        assert len(ds.associations) == 10
+        macs = ds.usable_macs(min_in_region_events=2)
+        assert len(macs) >= 5
+
+    def test_trajectories_within_field(self):
+        ds = build_synthetic_dataset(user_count=10, ap_count=100, rng=0)
+        field = RectangularField(30, 30)
+        macs = ds.usable_macs(min_in_region_events=4)[:3]
+        trajs = ds.trajectories_for(macs, field, rng=1)
+        assert len(trajs) == 3
+        for tr in trajs:
+            assert field.contains(tr.positions).all()
+            assert tr.times[0] == pytest.approx(0.0)
+
+    def test_unknown_mac_raises(self):
+        ds = build_synthetic_dataset(user_count=4, ap_count=60, rng=0)
+        field = RectangularField(30, 30)
+        with pytest.raises(TraceError):
+            ds.trajectories_for(["nope"], field)
+
+    def test_empty_macs_raise(self):
+        ds = build_synthetic_dataset(user_count=4, ap_count=60, rng=0)
+        with pytest.raises(ConfigurationError):
+            ds.trajectories_for([], RectangularField(30, 30))

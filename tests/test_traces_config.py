@@ -1,0 +1,89 @@
+"""SyntheticTraceConfig validation and generator statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.traces import SyntheticTraceConfig, generate_campus_aps, generate_syslog_records
+from repro.traces.parser import parse_syslog_records
+from repro.traces.synthetic import _mac_for
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        cfg = SyntheticTraceConfig()
+        assert cfg.horizon > 0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("horizon", 0.0),
+            ("mean_dwell", -1.0),
+            ("dwell_sigma", 0.0),
+            ("mean_gap", 0.0),
+            ("hop_locality", 0.0),
+            ("start_jitter", 0.0),
+        ],
+    )
+    def test_positive_fields_enforced(self, field, value):
+        with pytest.raises(ConfigurationError):
+            SyntheticTraceConfig(**{field: value})
+
+    def test_session_hops_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticTraceConfig(session_hop_count=0)
+
+
+class TestMacFormat:
+    def test_shape(self):
+        mac = _mac_for(0)
+        parts = mac.split(":")
+        assert len(parts) == 6
+        assert all(len(p) == 2 for p in parts)
+
+    def test_distinct_users_distinct_macs(self):
+        macs = {_mac_for(u) for u in range(500)}
+        assert len(macs) == 500
+
+    def test_deterministic(self):
+        assert _mac_for(42) == _mac_for(42)
+
+
+class TestGeneratorStatistics:
+    def test_dwell_times_heavy_tailed(self):
+        """Lognormal dwells: mean notably exceeds the median."""
+        aps = generate_campus_aps(count=40, rng=0)
+        lines = generate_syslog_records(aps, user_count=4, rng=1)
+        parsed = parse_syslog_records(lines)
+        dwells = []
+        for seq in parsed.values():
+            times = [t for t, _ in seq]
+            gaps = np.diff(times)
+            dwells.extend(g for g in gaps if g < 6 * 3600)  # in-session
+        dwells = np.asarray(dwells)
+        assert dwells.size > 50
+        assert dwells.mean() > 1.2 * np.median(dwells)
+
+    def test_sessions_separated_by_gaps(self):
+        aps = generate_campus_aps(count=40, rng=0)
+        cfg = SyntheticTraceConfig(mean_gap=12 * 3600.0)
+        lines = generate_syslog_records(aps, user_count=3, config=cfg, rng=2)
+        parsed = parse_syslog_records(lines)
+        long_gaps = 0
+        for seq in parsed.values():
+            gaps = np.diff([t for t, _ in seq])
+            long_gaps += int(np.sum(gaps > 6 * 3600))
+        assert long_gaps > 5  # multiple distinct sessions per record
+
+    def test_reproducible(self):
+        aps = generate_campus_aps(count=30, rng=0)
+        a = generate_syslog_records(aps, user_count=2, rng=9)
+        b = generate_syslog_records(aps, user_count=2, rng=9)
+        assert a == b
+
+    def test_records_reference_known_aps(self):
+        aps = generate_campus_aps(count=30, rng=0)
+        names = {ap.name for ap in aps}
+        lines = generate_syslog_records(aps, user_count=2, rng=3)
+        for line in lines:
+            assert line.split("\t")[2] in names

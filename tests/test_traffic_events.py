@@ -1,0 +1,160 @@
+"""Collection event and schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    CollectionEvent,
+    CollectionSchedule,
+    poisson_schedule,
+    synchronous_schedule,
+)
+
+
+def _event(user=0, time=0.0, pos=(1.0, 1.0), stretch=1.0):
+    return CollectionEvent(user=user, time=time, position=pos, stretch=stretch)
+
+
+class TestCollectionEvent:
+    def test_valid(self):
+        e = _event()
+        assert e.user == 0 and e.stretch == 1.0
+
+    def test_negative_user_raises(self):
+        with pytest.raises(ConfigurationError):
+            _event(user=-1)
+
+    def test_nan_time_raises(self):
+        with pytest.raises(ConfigurationError):
+            _event(time=float("nan"))
+
+    def test_negative_stretch_raises(self):
+        with pytest.raises(ConfigurationError):
+            _event(stretch=-1.0)
+
+    def test_zero_stretch_allowed(self):
+        assert _event(stretch=0.0).stretch == 0.0
+
+
+class TestCollectionSchedule:
+    def _schedule(self):
+        return CollectionSchedule(
+            [
+                _event(user=1, time=5.0),
+                _event(user=0, time=1.0),
+                _event(user=0, time=3.0),
+            ]
+        )
+
+    def test_sorted_by_time(self):
+        s = self._schedule()
+        assert [e.time for e in s] == [1.0, 3.0, 5.0]
+
+    def test_len(self):
+        assert len(self._schedule()) == 3
+
+    def test_users(self):
+        assert self._schedule().users == [0, 1]
+
+    def test_time_span(self):
+        assert self._schedule().time_span == (1.0, 5.0)
+
+    def test_empty_span_raises(self):
+        with pytest.raises(ConfigurationError):
+            CollectionSchedule([]).time_span
+
+    def test_events_in_window_right_open(self):
+        s = self._schedule()
+        got = s.events_in_window(1.0, 3.0)
+        assert [e.time for e in got] == [1.0]
+
+    def test_events_in_window_empty(self):
+        assert self._schedule().events_in_window(10.0, 20.0) == []
+
+    def test_events_in_window_backwards_raises(self):
+        with pytest.raises(ConfigurationError):
+            self._schedule().events_in_window(5.0, 1.0)
+
+    def test_windows_cover_all_events(self):
+        s = self._schedule()
+        windows = s.windows(2.0)
+        total = sum(len(events) for _, events in windows)
+        assert total == 3
+
+    def test_windows_include_empty(self):
+        s = CollectionSchedule([_event(time=0.0), _event(time=10.0)])
+        windows = s.windows(1.0)
+        empty = [w for w, events in windows if not events]
+        assert len(empty) >= 8
+
+    def test_user_events(self):
+        s = self._schedule()
+        assert len(s.user_events(0)) == 2
+        assert len(s.user_events(1)) == 1
+
+
+class TestSynchronousSchedule:
+    def test_one_event_per_user_per_round(self):
+        trajs = [np.zeros((4, 2)), np.ones((4, 2))]
+        s = synchronous_schedule(trajs, [1.0, 2.0])
+        assert len(s) == 8
+        for t, events in s.windows(1.0):
+            assert len(events) == 2
+
+    def test_stretches_assigned(self):
+        s = synchronous_schedule([np.zeros((2, 2))], [2.5])
+        assert all(e.stretch == 2.5 for e in s)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ConfigurationError):
+            synchronous_schedule([np.zeros((2, 2))], [1.0, 2.0])
+
+    def test_unequal_rounds_raise(self):
+        with pytest.raises(ConfigurationError):
+            synchronous_schedule(
+                [np.zeros((2, 2)), np.zeros((3, 2))], [1.0, 1.0]
+            )
+
+    def test_no_users_raises(self):
+        with pytest.raises(ConfigurationError):
+            synchronous_schedule([], [])
+
+    def test_times_spaced_by_delta(self):
+        s = synchronous_schedule([np.zeros((3, 2))], [1.0], delta_t=2.0)
+        assert [e.time for e in s] == [0.0, 2.0, 4.0]
+
+
+class TestPoissonSchedule:
+    def _traj(self):
+        times = np.array([0.0, 100.0])
+        positions = np.array([[0.0, 0.0], [10.0, 0.0]])
+        return positions, times
+
+    def test_event_count_scales_with_rate(self):
+        pos, times = self._traj()
+        dense = poisson_schedule([pos], [times], [1.0], rate=0.5, horizon=100, rng=0)
+        sparse = poisson_schedule([pos], [times], [1.0], rate=0.05, horizon=100, rng=0)
+        assert len(dense) > len(sparse)
+
+    def test_positions_interpolated(self):
+        pos, times = self._traj()
+        s = poisson_schedule([pos], [times], [1.0], rate=0.2, horizon=100, rng=1)
+        for e in s:
+            expected_x = e.time / 10.0
+            assert e.position[0] == pytest.approx(expected_x)
+
+    def test_horizon_respected(self):
+        pos, times = self._traj()
+        s = poisson_schedule([pos], [times], [1.0], rate=0.5, horizon=50, rng=2)
+        assert all(e.time < 50 for e in s)
+
+    def test_empty_schedule_raises(self):
+        pos, times = self._traj()
+        with pytest.raises(ConfigurationError):
+            poisson_schedule([pos], [times], [1.0], rate=1e-9, horizon=1.0, rng=3)
+
+    def test_misaligned_inputs_raise(self):
+        pos, times = self._traj()
+        with pytest.raises(ConfigurationError):
+            poisson_schedule([pos], [times], [1.0, 2.0], rate=1.0, horizon=10)

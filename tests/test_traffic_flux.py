@@ -1,0 +1,207 @@
+"""Flux simulation, stretch models, smoothing, and measurement tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic import (
+    CollectionEvent,
+    DropoutNoise,
+    FluxSimulator,
+    GaussianNoise,
+    MeasurementModel,
+    NoNoise,
+    PerNodeInterestStretch,
+    RandomStretch,
+    UniformStretch,
+    simulate_flux,
+    smooth_flux,
+)
+
+
+class TestStretchModels:
+    def test_uniform(self):
+        m = UniformStretch(2.0)
+        assert m.user_stretch(0) == 2.0 == m.user_stretch(5)
+
+    def test_uniform_node_weights(self):
+        w = UniformStretch(1.5).node_weights(0, 4)
+        np.testing.assert_allclose(w, 1.5)
+
+    def test_random_in_range(self):
+        m = RandomStretch(1.0, 3.0, rng=0)
+        values = [m.user_stretch(u) for u in range(50)]
+        assert all(1.0 <= v <= 3.0 for v in values)
+
+    def test_random_stable_per_user(self):
+        m = RandomStretch(rng=0)
+        assert m.user_stretch(3) == m.user_stretch(3)
+
+    def test_random_bad_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            RandomStretch(3.0, 1.0)
+
+    def test_interest_stretch_decays(self, small_network):
+        m = PerNodeInterestStretch(
+            base_stretch=2.0,
+            interest_center=np.array([7.5, 7.5]),
+            decay_scale=3.0,
+            positions=small_network.positions,
+        )
+        w = m.node_weights(0, small_network.node_count)
+        d = np.hypot(
+            small_network.positions[:, 0] - 7.5,
+            small_network.positions[:, 1] - 7.5,
+        )
+        near = w[np.argmin(d)]
+        far = w[np.argmax(d)]
+        assert near > far
+
+    def test_interest_stretch_shape_check(self, small_network):
+        m = PerNodeInterestStretch(
+            base_stretch=1.0,
+            interest_center=np.zeros(2),
+            decay_scale=1.0,
+            positions=small_network.positions,
+        )
+        with pytest.raises(ConfigurationError):
+            m.node_weights(0, 3)
+
+
+class TestFluxSimulator:
+    def test_flux_conservation(self, small_network):
+        """The root's flux equals the total generated data."""
+        flux = simulate_flux(small_network, [np.array([7.0, 7.0])], [2.0], rng=0)
+        assert flux.max() == pytest.approx(2.0 * small_network.node_count)
+
+    def test_every_node_carries_own_data(self, small_network):
+        flux = simulate_flux(small_network, [np.array([7.0, 7.0])], [1.5], rng=0)
+        assert np.all(flux >= 1.5 - 1e-9)
+
+    def test_superposition(self, small_network):
+        p1, p2 = np.array([3.0, 3.0]), np.array([12.0, 12.0])
+        sim = FluxSimulator(small_network, rng=0)
+        e1 = CollectionEvent(user=0, time=0, position=tuple(p1), stretch=1.0)
+        e2 = CollectionEvent(user=1, time=0, position=tuple(p2), stretch=2.0)
+        breakdown = sim.window_flux([e1, e2])
+        np.testing.assert_allclose(
+            breakdown.total, breakdown.per_user[0] + breakdown.per_user[1]
+        )
+
+    def test_per_user_accumulates_repeat_events(self, small_network):
+        sim = FluxSimulator(small_network, rng=0)
+        e = CollectionEvent(user=0, time=0, position=(5.0, 5.0), stretch=1.0)
+        breakdown = sim.window_flux([e, e])
+        assert breakdown.per_user[0].max() == pytest.approx(
+            2.0 * small_network.node_count
+        )
+
+    def test_empty_window(self, small_network):
+        sim = FluxSimulator(small_network, rng=0)
+        breakdown = sim.window_flux([])
+        np.testing.assert_allclose(breakdown.total, 0.0)
+        assert breakdown.per_user == {}
+
+    def test_flux_scales_with_stretch(self, small_network):
+        f1 = simulate_flux(small_network, [np.array([7.0, 7.0])], [1.0], rng=5)
+        f2 = simulate_flux(small_network, [np.array([7.0, 7.0])], [3.0], rng=5)
+        np.testing.assert_allclose(f2, 3.0 * f1)
+
+    def test_mismatched_inputs_raise(self, small_network):
+        with pytest.raises(ConfigurationError):
+            simulate_flux(small_network, [np.zeros(2)], [1.0, 2.0])
+
+
+class TestSmoothing:
+    def test_preserves_constant_field(self, small_network):
+        flux = np.full(small_network.node_count, 4.2)
+        out = smooth_flux(small_network, flux)
+        np.testing.assert_allclose(out, 4.2)
+
+    def test_reduces_variance(self, small_network):
+        flux = simulate_flux(small_network, [np.array([7.0, 7.0])], [1.0], rng=0)
+        smoothed = smooth_flux(small_network, flux)
+        assert smoothed.std() < flux.std()
+
+    def test_exclude_self(self, small_network):
+        flux = np.zeros(small_network.node_count)
+        flux[0] = 100.0
+        out = smooth_flux(small_network, flux, include_self=False)
+        assert out[0] == 0.0
+
+    def test_custom_radius_matches_manual(self, small_network):
+        gen = np.random.default_rng(0)
+        flux = gen.uniform(size=small_network.node_count)
+        radius = 3.0
+        out = smooth_flux(small_network, flux, radius=radius)
+        pos = small_network.positions
+        i = 10
+        d = np.hypot(pos[:, 0] - pos[i, 0], pos[:, 1] - pos[i, 1])
+        expected = flux[d <= radius].mean()
+        assert out[i] == pytest.approx(expected)
+
+    def test_shape_check(self, small_network):
+        with pytest.raises(ConfigurationError):
+            smooth_flux(small_network, np.zeros(3))
+
+
+class TestMeasurement:
+    def test_no_noise_exact(self, small_network):
+        flux = simulate_flux(small_network, [np.array([7.0, 7.0])], [1.0], rng=0)
+        sniffers = np.array([0, 5, 10])
+        obs = MeasurementModel(small_network, sniffers, rng=0).observe(flux, time=3.0)
+        np.testing.assert_allclose(obs.values, flux[sniffers])
+        assert obs.time == 3.0
+        assert obs.count == 3
+
+    def test_smooth_option(self, small_network):
+        flux = simulate_flux(small_network, [np.array([7.0, 7.0])], [1.0], rng=0)
+        sniffers = np.arange(20)
+        raw = MeasurementModel(small_network, sniffers, rng=0).observe(flux)
+        smoothed = MeasurementModel(
+            small_network, sniffers, smooth=True, rng=0
+        ).observe(flux)
+        assert not np.allclose(raw.values, smoothed.values)
+
+    def test_gaussian_noise_perturbs(self, small_network):
+        flux = simulate_flux(small_network, [np.array([7.0, 7.0])], [1.0], rng=0)
+        sniffers = np.arange(30)
+        obs = MeasurementModel(
+            small_network, sniffers, noise=GaussianNoise(0.1), rng=0
+        ).observe(flux)
+        assert not np.allclose(obs.values, flux[sniffers])
+        assert np.all(obs.values >= 0)
+
+    def test_dropout_produces_nans(self, small_network):
+        flux = np.ones(small_network.node_count)
+        sniffers = np.arange(100)
+        obs = MeasurementModel(
+            small_network, sniffers, noise=DropoutNoise(0.5), rng=0
+        ).observe(flux)
+        nan_count = int(np.isnan(obs.values).sum())
+        assert 20 <= nan_count <= 80
+
+    def test_dropout_zero_is_noop(self, small_network):
+        flux = np.ones(small_network.node_count)
+        obs = MeasurementModel(
+            small_network, np.arange(10), noise=DropoutNoise(0.0), rng=0
+        ).observe(flux)
+        assert not np.any(np.isnan(obs.values))
+
+    def test_noise_does_not_mutate_input(self):
+        values = np.ones(5)
+        GaussianNoise(0.5).apply(values, np.random.default_rng(0))
+        np.testing.assert_allclose(values, 1.0)
+
+    def test_duplicate_sniffers_raise(self, small_network):
+        with pytest.raises(ConfigurationError):
+            MeasurementModel(small_network, np.array([1, 1, 2]))
+
+    def test_out_of_range_sniffers_raise(self, small_network):
+        with pytest.raises(ConfigurationError):
+            MeasurementModel(small_network, np.array([0, 10_000]))
+
+    def test_flux_shape_checked(self, small_network):
+        mm = MeasurementModel(small_network, np.array([0, 1]))
+        with pytest.raises(ConfigurationError):
+            mm.observe(np.zeros(5))

@@ -1,0 +1,133 @@
+"""User-count estimation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fingerprint import NLSLocalizer
+from repro.fingerprint.usercount import UserCountEstimate, estimate_user_count
+from repro.network import sample_sniffers_percentage
+from repro.traffic import MeasurementModel, simulate_flux
+from repro.traffic.measurement import FluxObservation
+
+
+def _setup(network, true_count, seed):
+    gen = np.random.default_rng(seed)
+    truth = network.field.sample_uniform(true_count, gen)
+    # Keep users apart so the counting task is well-posed.
+    for _ in range(40):
+        d = np.linalg.norm(truth[:, None, :] - truth[None, :, :], axis=2)
+        np.fill_diagonal(d, np.inf)
+        if true_count == 1 or d.min() > network.field.diameter / 4:
+            break
+        truth = network.field.sample_uniform(true_count, gen)
+    stretches = gen.uniform(1.5, 3.0, true_count)
+    flux = simulate_flux(network, list(truth), list(stretches), rng=gen)
+    sniffers = sample_sniffers_percentage(network, 20, rng=gen)
+    obs = MeasurementModel(network, sniffers, smooth=True, rng=gen).observe(flux)
+    loc = NLSLocalizer(network.field, network.positions[sniffers])
+    return truth, obs, loc
+
+
+class TestEstimateUserCount:
+    @pytest.mark.parametrize("true_count", [1, 2])
+    def test_count_close_to_truth(self, paper_network, true_count):
+        hits = 0
+        for seed in (1, 2, 3):
+            truth, obs, loc = _setup(paper_network, true_count, seed)
+            est = estimate_user_count(
+                loc, obs, max_users=4, candidate_count=1200, rng=seed
+            )
+            if abs(est.count - true_count) <= 1:
+                hits += 1
+        assert hits >= 2  # within +-1 on most runs
+
+    def test_zero_flux_counts_zero(self, small_network):
+        sniffers = np.arange(40)
+        obs = FluxObservation(
+            time=0.0, sniffers=sniffers, values=np.zeros(40)
+        )
+        loc = NLSLocalizer(
+            small_network.field, small_network.positions[sniffers]
+        )
+        est = estimate_user_count(
+            loc, obs, max_users=3, candidate_count=200, rng=0
+        )
+        assert est.count == 0
+        assert est.positions.shape == (0, 2)
+
+    def test_positions_near_truth_single_user(self, paper_network):
+        truth, obs, loc = _setup(paper_network, 1, 9)
+        est = estimate_user_count(
+            loc, obs, max_users=4, candidate_count=1500, rng=9
+        )
+        assert est.count >= 1
+        best = min(
+            np.linalg.norm(p - truth[0]) for p in est.positions
+        )
+        assert best < 4.0
+
+    def test_thetas_positive_for_survivors(self, paper_network):
+        truth, obs, loc = _setup(paper_network, 2, 4)
+        est = estimate_user_count(
+            loc, obs, max_users=4, candidate_count=1000, rng=4
+        )
+        assert np.all(est.thetas > 0)
+
+    def test_max_users_validated(self, small_network):
+        sniffers = np.arange(30)
+        obs = FluxObservation(
+            time=0.0, sniffers=sniffers, values=np.ones(30)
+        )
+        loc = NLSLocalizer(
+            small_network.field, small_network.positions[sniffers]
+        )
+        with pytest.raises(ConfigurationError):
+            estimate_user_count(loc, obs, max_users=0)
+
+
+class TestClusterMerging:
+    def test_merge_close_slots(self):
+        from repro.fingerprint.usercount import _merge_clusters
+
+        positions = np.array([[1.0, 1.0], [1.5, 1.0], [10.0, 10.0]])
+        thetas = np.array([1.0, 3.0, 2.0])
+        merged_pos, merged_theta = _merge_clusters(positions, thetas, 2.0)
+        assert merged_pos.shape == (2, 2)
+        # Theta-weighted center of the merged pair.
+        pair = merged_pos[np.argmin(merged_pos[:, 0])]
+        np.testing.assert_allclose(pair, [1.375, 1.0])
+        assert sorted(merged_theta.tolist()) == [2.0, 4.0]
+
+    def test_chained_merging_single_linkage(self):
+        from repro.fingerprint.usercount import _merge_clusters
+
+        # a-b close, b-c close, a-c far: single linkage merges all three.
+        positions = np.array([[0.0, 0.0], [1.5, 0.0], [3.0, 0.0]])
+        thetas = np.ones(3)
+        merged_pos, _ = _merge_clusters(positions, thetas, 2.0)
+        assert merged_pos.shape == (1, 2)
+
+    def test_no_merging_when_far(self):
+        from repro.fingerprint.usercount import _merge_clusters
+
+        positions = np.array([[0.0, 0.0], [20.0, 20.0]])
+        merged_pos, merged_theta = _merge_clusters(
+            positions, np.array([1.0, 2.0]), 3.0
+        )
+        assert merged_pos.shape == (2, 2)
+        assert merged_theta.shape == (2,)
+
+    def test_custom_merge_radius(self, paper_network):
+        from repro.fingerprint.usercount import estimate_user_count
+
+        truth, obs, loc = _setup(paper_network, 1, 11)
+        tiny = estimate_user_count(
+            loc, obs, max_users=4, candidate_count=800,
+            merge_radius=0.01, rng=11,
+        )
+        broad = estimate_user_count(
+            loc, obs, max_users=4, candidate_count=800,
+            merge_radius=10.0, rng=11,
+        )
+        assert broad.count <= tiny.count

@@ -1,0 +1,75 @@
+"""RNG discipline tests."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn_generators
+
+
+def test_as_generator_from_none_gives_generator():
+    gen = as_generator(None)
+    assert isinstance(gen, np.random.Generator)
+
+
+def test_as_generator_from_int_is_reproducible():
+    a = as_generator(42).uniform(size=5)
+    b = as_generator(42).uniform(size=5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_as_generator_passes_through_generator():
+    gen = np.random.default_rng(1)
+    assert as_generator(gen) is gen
+
+
+def test_as_generator_accepts_seed_sequence():
+    seq = np.random.SeedSequence(5)
+    gen = as_generator(seq)
+    assert isinstance(gen, np.random.Generator)
+
+
+def test_as_generator_rejects_strings():
+    with pytest.raises(TypeError):
+        as_generator("not a seed")
+
+
+def test_as_generator_rejects_float():
+    with pytest.raises(TypeError):
+        as_generator(1.5)
+
+
+def test_spawn_generators_count():
+    children = spawn_generators(3, 4)
+    assert len(children) == 4
+
+
+def test_spawn_generators_zero():
+    assert spawn_generators(3, 0) == []
+
+
+def test_spawn_generators_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_generators(3, -1)
+
+
+def test_spawn_generators_reproducible():
+    a = [g.uniform() for g in spawn_generators(11, 3)]
+    b = [g.uniform() for g in spawn_generators(11, 3)]
+    assert a == b
+
+
+def test_spawn_generators_children_differ():
+    children = spawn_generators(11, 3)
+    draws = [g.uniform() for g in children]
+    assert len(set(draws)) == 3
+
+
+def test_spawned_children_independent_of_parent_draws():
+    parent = np.random.default_rng(8)
+    children = spawn_generators(parent, 2)
+    # Further parent draws must not affect already-spawned children.
+    first = children[0].uniform()
+    parent2 = np.random.default_rng(8)
+    children2 = spawn_generators(parent2, 2)
+    parent2.uniform(size=100)
+    assert children2[0].uniform() == first

@@ -1,0 +1,56 @@
+"""Result serialization tests."""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.serialization import results_to_json, save_results_json
+
+
+@dataclasses.dataclass
+class _Sample:
+    name: str
+    values: np.ndarray
+
+
+def test_numpy_arrays_become_lists():
+    out = json.loads(results_to_json({"a": np.array([1.0, 2.0])}))
+    assert out["a"] == [1.0, 2.0]
+
+
+def test_numpy_scalars_become_python():
+    out = json.loads(
+        results_to_json({"i": np.int64(3), "f": np.float64(1.5), "b": np.bool_(True)})
+    )
+    assert out == {"i": 3, "f": 1.5, "b": True}
+
+
+def test_dataclasses_become_dicts():
+    out = json.loads(results_to_json(_Sample(name="x", values=np.zeros(2))))
+    assert out == {"name": "x", "values": [0.0, 0.0]}
+
+
+def test_nested_structures():
+    nested = {"rows": [{"v": np.arange(2)}, {"v": (np.float32(1.0),)}]}
+    out = json.loads(results_to_json(nested))
+    assert out["rows"][0]["v"] == [0, 1]
+    assert out["rows"][1]["v"] == [1.0]
+
+
+def test_paths_become_strings(tmp_path):
+    out = json.loads(results_to_json({"p": tmp_path}))
+    assert out["p"] == str(tmp_path)
+
+
+def test_save_results_json_roundtrip(tmp_path):
+    target = tmp_path / "sub" / "results.json"
+    path = save_results_json({"x": np.array([3.0])}, target)
+    assert path == target
+    assert json.loads(target.read_text()) == {"x": [3.0]}
+
+
+def test_sorted_keys_stable():
+    a = results_to_json({"b": 1, "a": 2})
+    assert a.index('"a"') < a.index('"b"')

@@ -1,0 +1,98 @@
+"""Statistics helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.stats import (
+    cdf_at,
+    empirical_cdf,
+    mean_confidence_interval,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.median == 2.0
+
+    def test_std(self):
+        s = summarize([0.0, 2.0])
+        assert s.std == pytest.approx(1.0)
+
+    def test_flattens(self):
+        assert summarize(np.ones((2, 3))).count == 6
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_str_contains_mean(self):
+        assert "mean" in str(summarize([1.0]))
+
+
+class TestEmpiricalCdf:
+    def test_sorted_output(self):
+        xs, ys = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(xs, [1.0, 2.0, 3.0])
+
+    def test_fractions(self):
+        _, ys = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_allclose(ys, [1 / 3, 2 / 3, 1.0])
+
+    def test_last_fraction_is_one(self):
+        _, ys = empirical_cdf(np.random.default_rng(0).uniform(size=50))
+        assert ys[-1] == 1.0
+
+    def test_monotone(self):
+        xs, ys = empirical_cdf(np.random.default_rng(0).normal(size=100))
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(ys) > 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            empirical_cdf([])
+
+
+class TestCdfAt:
+    def test_half(self):
+        assert cdf_at([1, 2, 3, 4], 2) == 0.5
+
+    def test_all(self):
+        assert cdf_at([1, 2], 10) == 1.0
+
+    def test_none(self):
+        assert cdf_at([1, 2], 0) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            cdf_at([], 1)
+
+
+class TestMeanConfidenceInterval:
+    def test_contains_mean(self):
+        mean, lo, hi = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert lo <= mean <= hi
+
+    def test_single_sample_degenerate(self):
+        mean, lo, hi = mean_confidence_interval([2.0])
+        assert mean == lo == hi == 2.0
+
+    def test_wider_at_higher_confidence(self):
+        data = np.random.default_rng(0).normal(size=30)
+        _, lo95, hi95 = mean_confidence_interval(data, 0.95)
+        _, lo99, hi99 = mean_confidence_interval(data, 0.99)
+        assert (hi99 - lo99) > (hi95 - lo95)
+
+    def test_bad_confidence_raises(self):
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([])

@@ -1,0 +1,116 @@
+"""Validation helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_finite_array,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", float("nan"))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", float("inf"))
+
+    def test_coerces_int(self):
+        out = check_positive("x", 3)
+        assert isinstance(out, float) and out == 3.0
+
+
+class TestCheckInRange:
+    def test_accepts_inside(self):
+        assert check_in_range("x", 0.5, 0, 1) == 0.5
+
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 0.0, 0, 1) == 0.0
+        assert check_in_range("x", 1.0, 0, 1) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 0.0, 0, 1, inclusive=(False, True))
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 1.0, 0, 1, inclusive=(True, False))
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 2.0, 0, 1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", float("nan"), 0, 1)
+
+    def test_message_mentions_bounds(self):
+        with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+            check_in_range("x", 5, 0, 1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_accepts(self, p):
+        assert check_probability("p", p) == p
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_rejects(self, p):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", p)
+
+
+class TestCheckFiniteArray:
+    def test_accepts_finite(self):
+        arr = check_finite_array("a", [1.0, 2.0])
+        np.testing.assert_array_equal(arr, [1.0, 2.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            check_finite_array("a", [1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            check_finite_array("a", [np.inf])
+
+    def test_empty_ok(self):
+        assert check_finite_array("a", []).size == 0
+
+    def test_returns_float_array(self):
+        assert check_finite_array("a", [1, 2]).dtype == float
+
+
+class TestCheckShape:
+    def test_exact_shape(self):
+        arr = check_shape("a", np.zeros((3, 2)), (3, 2))
+        assert arr.shape == (3, 2)
+
+    def test_wildcard(self):
+        check_shape("a", np.zeros((7, 2)), (None, 2))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ConfigurationError):
+            check_shape("a", np.zeros(3), (3, 1))
+
+    def test_wrong_extent(self):
+        with pytest.raises(ConfigurationError):
+            check_shape("a", np.zeros((3, 3)), (None, 2))

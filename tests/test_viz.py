@@ -1,0 +1,121 @@
+"""Text visualization tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import RectangularField
+from repro.traffic import simulate_flux
+from repro.viz import render_cdf, render_flux_heatmap, render_positions, render_series
+
+
+class TestHeatmap:
+    def test_dimensions(self, small_network):
+        flux = np.ones(small_network.node_count)
+        out = render_flux_heatmap(small_network, flux, width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 12  # 10 rows + 2 borders
+        assert all(len(line) == 42 for line in lines)
+
+    def test_peak_is_darkest(self, small_network):
+        truth = np.array([7.5, 7.5])
+        flux = simulate_flux(small_network, [truth], [2.0], rng=0)
+        out = render_flux_heatmap(
+            small_network, flux, width=30, height=12, log_scale=True
+        )
+        # The darkest glyph '@' appears somewhere near the center rows.
+        assert "@" in out
+
+    def test_markers_drawn(self, small_network):
+        flux = np.ones(small_network.node_count)
+        out = render_flux_heatmap(
+            small_network, flux, markers=np.array([[7.5, 7.5]])
+        )
+        assert "X" in out
+
+    def test_marker_position_correct(self, small_network):
+        flux = np.ones(small_network.node_count)
+        out = render_flux_heatmap(
+            small_network, flux, width=30, height=10,
+            markers=np.array([[0.1, 0.1]]),
+        )
+        lines = out.splitlines()
+        # Bottom-left corner (y grows upward): marker on the last body row.
+        assert "X" in lines[-2][:4]
+
+    def test_shape_checked(self, small_network):
+        with pytest.raises(ConfigurationError):
+            render_flux_heatmap(small_network, np.ones(3))
+
+    def test_size_checked(self, small_network):
+        with pytest.raises(ConfigurationError):
+            render_flux_heatmap(
+                small_network, np.ones(small_network.node_count), width=1
+            )
+
+
+class TestScatter:
+    def test_layers_drawn(self):
+        field = RectangularField(10, 10)
+        out = render_positions(
+            field,
+            {"*": np.array([[5.0, 5.0]]), "o": np.array([[1.0, 9.0]])},
+            width=20,
+            height=10,
+        )
+        assert "*" in out and "o" in out
+
+    def test_later_layer_wins(self):
+        field = RectangularField(10, 10)
+        out = render_positions(
+            field,
+            {"a": np.array([[5.0, 5.0]]), "b": np.array([[5.0, 5.0]])},
+        )
+        assert "b" in out and "a" not in out
+
+    def test_empty_layer_ok(self):
+        field = RectangularField(10, 10)
+        out = render_positions(field, {"x": np.zeros((0, 2))})
+        assert "x" not in out
+
+    def test_multichar_glyph_rejected(self):
+        field = RectangularField(10, 10)
+        with pytest.raises(ConfigurationError):
+            render_positions(field, {"ab": np.array([[1.0, 1.0]])})
+
+    def test_bad_shape_rejected(self):
+        field = RectangularField(10, 10)
+        with pytest.raises(ConfigurationError):
+            render_positions(field, {"a": np.zeros((2, 3))})
+
+
+class TestCurves:
+    def test_series_renders(self):
+        xs = np.linspace(0, 10, 20)
+        out = render_series({"alpha": (xs, xs**2)}, width=30, height=10)
+        assert "a = alpha" in out
+
+    def test_multiple_series(self):
+        xs = np.linspace(0, 10, 20)
+        out = render_series(
+            {"up": (xs, xs), "down": (xs, 10 - xs)}, width=30, height=10
+        )
+        assert "u" in out and "d" in out
+
+    def test_axis_labels_present(self):
+        xs = np.array([0.0, 5.0])
+        out = render_series({"s": (xs, np.array([1.0, 3.0]))})
+        assert "3" in out  # y max label
+        assert "5" in out  # x max label
+
+    def test_cdf_monotone_rendering(self):
+        out = render_cdf({"n": np.random.default_rng(0).normal(size=200)})
+        assert "CDF" in out
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series({})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series({"s": (np.zeros(3), np.zeros(4))})
