@@ -1,0 +1,116 @@
+"""Streaming service throughput: windows/sec and p95 step latency.
+
+Measures the SessionManager pumping 1, 4, and 16 concurrent tracking
+sessions over identical replayed streams — the scaling axis every later
+PR (sharding, async backends, multi-process workers) moves. Runs under
+pytest-benchmark like the rest of the suite, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_stream_throughput.py
+
+emitting one JSON record per fleet size for the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.geometry import RectangularField
+from repro.network import build_network, sample_sniffers_percentage
+from repro.smc import SequentialMonteCarloTracker, TrackerConfig
+from repro.stream import SessionManager, SyntheticLiveSource, TrackingSession
+
+SESSION_COUNTS = (1, 4, 16)
+ROUNDS = 10
+_CFG = TrackerConfig(prediction_count=150, keep_count=10)
+
+
+def _scenario():
+    net = build_network(
+        field=RectangularField(15, 15), node_count=225, radius=2.0, rng=1234
+    )
+    sniffers = sample_sniffers_percentage(net, 20, rng=1)
+    observations = list(
+        SyntheticLiveSource(net, sniffers, user_count=2, rounds=ROUNDS, rng=2)
+    )
+    return net, sniffers, observations
+
+
+def _run_fleet(net, sniffers, observations, session_count, workers):
+    manager = SessionManager(
+        queue_size=session_count * len(observations), workers=workers
+    )
+    for index in range(session_count):
+        tracker = SequentialMonteCarloTracker(
+            net.field,
+            net.positions[sniffers],
+            user_count=2,
+            config=_CFG,
+            rng=100 + index,
+        )
+        manager.add_session(TrackingSession(f"s{index}", tracker))
+    started = time.perf_counter()
+    for observation in observations:
+        for session_id in manager.session_ids:
+            manager.submit(session_id, observation)
+    processed = manager.drain()
+    elapsed = time.perf_counter() - started
+    return manager, processed, elapsed
+
+
+def _record(manager, processed, elapsed, session_count, workers):
+    p95 = max(
+        session.metrics.latency_quantiles()["p95"]
+        for session in (manager.session(sid) for sid in manager.session_ids)
+    )
+    return {
+        "benchmark": "stream_throughput",
+        "sessions": session_count,
+        "workers": workers,
+        "windows": processed,
+        "elapsed_s": elapsed,
+        "windows_per_sec": processed / elapsed,
+        "latency_p95_s": p95,
+    }
+
+
+@pytest.fixture(scope="module")
+def stream_scenario():
+    return _scenario()
+
+
+@pytest.mark.parametrize("session_count", SESSION_COUNTS)
+def test_stream_throughput(benchmark, stream_scenario, session_count):
+    net, sniffers, observations = stream_scenario
+    workers = min(session_count, 4)
+
+    def run():
+        return _run_fleet(net, sniffers, observations, session_count, workers)
+
+    manager, processed, elapsed = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    record = _record(manager, processed, elapsed, session_count, workers)
+    benchmark.extra_info.update(record)
+    print("\n" + json.dumps(record))
+    assert processed == session_count * len(observations)
+
+
+def main() -> None:
+    net, sniffers, observations = _scenario()
+    for session_count in SESSION_COUNTS:
+        workers = min(session_count, 4)
+        manager, processed, elapsed = _run_fleet(
+            net, sniffers, observations, session_count, workers
+        )
+        print(
+            json.dumps(
+                _record(manager, processed, elapsed, session_count, workers)
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -33,6 +33,7 @@ from repro.errors import (
     FittingError,
     GeometryError,
     ReproError,
+    StreamError,
     TraceError,
     TrackingError,
 )
@@ -67,6 +68,13 @@ from repro.smc import (
     TrackerStep,
 )
 from repro.mobility import Trajectory
+from repro.stream import (
+    ReplaySource,
+    SessionManager,
+    SyntheticLiveSource,
+    TrackingSession,
+    run_stream,
+)
 from repro.traces import TraceDataset, build_synthetic_dataset
 
 __version__ = "1.0.0"
@@ -80,6 +88,7 @@ __all__ = [
     "FittingError",
     "TrackingError",
     "TraceError",
+    "StreamError",
     "RectangularField",
     "CircularField",
     "PolygonField",
@@ -108,6 +117,11 @@ __all__ = [
     "TrackerConfig",
     "TrackerStep",
     "Trajectory",
+    "ReplaySource",
+    "SyntheticLiveSource",
+    "TrackingSession",
+    "SessionManager",
+    "run_stream",
     "TraceDataset",
     "build_synthetic_dataset",
     "__version__",

@@ -158,6 +158,119 @@ def cmd_track(args) -> int:
     return 0
 
 
+def cmd_track_stream(args) -> int:
+    from itertools import chain
+
+    from repro.errors import StreamError
+    from repro.smc import SequentialMonteCarloTracker, TrackerConfig
+    from repro.stream import (
+        JsonlTailSource,
+        ReplaySource,
+        SyntheticLiveSource,
+        resume_or_create,
+        run_stream,
+    )
+    from repro.util.persistence import load_network
+
+    if args.input and args.jsonl:
+        print("use either --input or --jsonl, not both", file=sys.stderr)
+        return 2
+    gen = as_generator(args.seed)
+    net = load_network(args.network) if args.network else _network_from(args)
+    truth = None
+
+    if args.input:
+        source = ReplaySource.from_npz(args.input)
+        if not len(source):
+            print(f"{args.input} holds no observations", file=sys.stderr)
+            return 1
+        sniffer_idx = source.observations[0].sniffers
+    elif args.jsonl:
+        tail = JsonlTailSource(args.jsonl, idle_timeout=args.idle_timeout)
+        iterator = iter(tail)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            print(f"{args.jsonl} yielded no observations", file=sys.stderr)
+            return 1
+        source = chain([first], iterator)
+        sniffer_idx = first.sniffers
+    else:
+        sniffer_idx = sample_sniffers_percentage(net, args.percentage, rng=gen)
+        live = SyntheticLiveSource(
+            net,
+            sniffer_idx,
+            user_count=args.users,
+            rounds=args.rounds,
+            max_speed=args.max_speed,
+            rng=gen,
+        )
+        source = live
+        truth = live.truth_at
+
+    def make_session():
+        from repro.stream import TrackingSession
+
+        tracker = SequentialMonteCarloTracker(
+            net.field,
+            net.positions[np.asarray(sniffer_idx, dtype=np.int64)],
+            user_count=args.users,
+            config=TrackerConfig(
+                prediction_count=args.predictions,
+                keep_count=args.keep,
+                max_speed=args.max_speed,
+            ),
+            rng=gen,
+        )
+        return TrackingSession("cli", tracker, truth=truth)
+
+    if args.checkpoint:
+        session = resume_or_create(args.checkpoint, make_session, truth=truth)
+        if session.windows_consumed:
+            print(
+                f"resumed from {args.checkpoint} at window "
+                f"{session.windows_consumed}"
+            )
+    else:
+        session = make_session()
+
+    def on_step(sess, step):
+        if step is None:
+            reason = list(sess.metrics.windows_skipped)[-1]
+            print(f"{sess.windows_consumed - 1:>6}  skipped ({reason})")
+        else:
+            print(
+                f"{sess.windows_consumed - 1:>6}  t={step.time:<8g} "
+                f"active={int(step.active.sum())}/{len(step.active)} "
+                f"objective={step.objective:.3f}"
+            )
+
+    try:
+        run_stream(
+            source,
+            session,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            max_windows=args.max_windows,
+            on_step=on_step,
+        )
+    except StreamError as exc:
+        print(f"stream failed: {exc}", file=sys.stderr)
+        return 1
+
+    estimates = session.estimates()
+    print("final estimates:")
+    for i, (x, y) in enumerate(estimates):
+        print(f"  user {i}: ({x:6.2f}, {y:6.2f})")
+    metrics_json = session.metrics.to_json()
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(metrics_json + "\n")
+        print(f"wrote metrics to {args.metrics_out}")
+    else:
+        print(metrics_json)
+    return 0
+
+
 def cmd_traces(args) -> int:
     from repro.traces import (
         generate_campus_aps,

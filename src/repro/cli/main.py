@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import argparse
-import sys
 from typing import List, Optional
 
 from repro.cli import commands
@@ -20,6 +19,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="global RNG seed"
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -59,6 +63,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the crossing-trajectories stress case (forces 2 users)",
     )
     p.set_defaults(handler=commands.cmd_track)
+
+    p = sub.add_parser(
+        "track-stream",
+        help="run the streaming tracking service (replay / tail / live)",
+    )
+    _network_args(p)
+    p.add_argument(
+        "--input", default=None, help="replay an .npz observation log"
+    )
+    p.add_argument(
+        "--jsonl", default=None, help="tail a JSONL observation feed"
+    )
+    p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=0.0,
+        help="stop tailing after this many idle seconds (JSONL mode)",
+    )
+    p.add_argument(
+        "--network",
+        default=None,
+        help="load the deployment from a save_network .npz "
+        "(default: rebuild from the network args + seed)",
+    )
+    p.add_argument("--users", type=int, default=2)
+    p.add_argument(
+        "--rounds",
+        type=int,
+        default=20,
+        help="windows to synthesize when neither --input nor --jsonl is given",
+    )
+    p.add_argument("--percentage", type=float, default=10.0)
+    p.add_argument("--predictions", type=int, default=500, help="SMC N")
+    p.add_argument("--keep", type=int, default=10, help="SMC M")
+    p.add_argument("--max-speed", type=float, default=5.0)
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        help="checkpoint file; resumes from it when it already exists",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="checkpoint cadence in windows (0 = only at exit)",
+    )
+    p.add_argument(
+        "--max-windows",
+        type=int,
+        default=None,
+        help="stop after this many windows this run (kill-switch)",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, help="write final metrics JSON here"
+    )
+    p.set_defaults(handler=commands.cmd_track_stream)
 
     p = sub.add_parser(
         "traces", help="generate / inspect synthetic campus traces"
@@ -117,5 +177,14 @@ def _network_args(p: argparse.ArgumentParser) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse already printed its message; normalize to an explicit
+        # return code: 2 for usage errors (e.g. an unknown subcommand),
+        # 0 for --help / --version.
+        code = exc.code
+        if code is None:
+            return 0
+        return code if isinstance(code, int) else 2
     return int(args.handler(args))

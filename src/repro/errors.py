@@ -46,3 +46,13 @@ class TrackingError(ReproError):
 
 class TraceError(ReproError):
     """A mobility trace could not be generated or parsed."""
+
+
+class StreamError(ReproError):
+    """The streaming tracking service hit an unrecoverable condition.
+
+    Per-observation problems (malformed readings, out-of-order windows)
+    are *not* stream errors — the stream layer skips and counts those.
+    This is raised for structural failures: an unusable source, a
+    checkpoint that does not match its session, a closed manager.
+    """

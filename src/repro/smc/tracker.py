@@ -230,9 +230,14 @@ class SequentialMonteCarloTracker:
         # active only if *adding* it to the model improves the fit
         # substantially (see forward_select_active), plus the absolute
         # theta floor.
+        # Use the objective's model: it is restricted to the non-NaN
+        # sniffers when readings dropped out, and the activity test must
+        # compare kernels and target over the same node set.
         incumbent_kernels = np.stack(
             [
-                self.model.geometry_kernel(pools[u][outcome.best_indices[u]])
+                objective.model.geometry_kernel(
+                    pools[u][outcome.best_indices[u]]
+                )
                 for u in range(self.user_count)
             ]
         )

@@ -1,0 +1,172 @@
+"""Checkpoint/resume for streaming tracking sessions.
+
+A checkpoint captures *everything* Algorithm 4.1 needs to continue
+bit-for-bit after a process kill: the per-user sample sets (positions,
+weights, ``t_last``), the tracker configuration, the sniffer geometry,
+and — crucially — the exact numpy bit-generator state, so the random
+draws of the resumed prediction phases reproduce the uninterrupted
+run. Step history and latency reservoirs are intentionally *not*
+checkpointed: they are observability artifacts, not tracker state.
+
+The on-disk format is a single ``.npz`` (same family as
+:mod:`repro.util.persistence`) with JSON side-channels for the
+structured bits (config, RNG state, counters).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.smc.samples import UserSamples
+from repro.smc.tracker import SequentialMonteCarloTracker, TrackerConfig
+from repro.stream.metrics import StreamMetrics
+from repro.stream.session import TrackingSession, TruthProvider
+from repro.util.persistence import (
+    field_from_arrays,
+    field_to_arrays,
+    require_keys,
+)
+
+_PathLike = Union[str, Path]
+
+#: Bumped on any incompatible layout change; loaders refuse mismatches.
+CHECKPOINT_FORMAT = 1
+
+_REQUIRED_KEYS = (
+    "format",
+    "session_id",
+    "field_kind",
+    "field_params",
+    "sniffer_positions",
+    "config_json",
+    "rng_state_json",
+    "t_last",
+    "counters_json",
+)
+
+
+def save_checkpoint(session: TrackingSession, path: _PathLike) -> Path:
+    """Serialize a session (tracker state + stream cursor) to ``.npz``."""
+    tracker = session.tracker
+    field_kind, field_params = field_to_arrays(tracker.field)
+    rng_state = json.dumps(tracker._rng.bit_generator.state, default=int)
+    config = json.dumps(dataclasses.asdict(tracker.config))
+    counters = json.dumps(
+        {
+            "windows_consumed": session.windows_consumed,
+            "last_time": session.last_time,
+            "windows_processed": session.metrics.windows_processed,
+            "windows_skipped": dict(session.metrics.windows_skipped),
+            "windows_dropped": session.metrics.windows_dropped,
+        }
+    )
+    arrays = {
+        "format": np.array([CHECKPOINT_FORMAT]),
+        "session_id": np.array(session.session_id),
+        "field_kind": np.array(field_kind),
+        "field_params": field_params,
+        "sniffer_positions": tracker.model.node_positions,
+        "config_json": np.array(config),
+        "rng_state_json": np.array(rng_state),
+        "t_last": np.array([s.t_last for s in tracker.samples]),
+        "counters_json": np.array(counters),
+    }
+    for user, samples in enumerate(tracker.samples):
+        arrays[f"positions_{user}"] = samples.positions
+        arrays[f"weights_{user}"] = samples.weights
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with tmp.open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    tmp.replace(path)  # atomic: a kill mid-write never corrupts the old one
+    return path
+
+
+def load_checkpoint(
+    path: _PathLike, truth: Optional[TruthProvider] = None
+) -> TrackingSession:
+    """Rebuild a session from :func:`save_checkpoint` output.
+
+    The returned session's tracker continues deterministically: same
+    samples, same weights, same RNG stream position. ``truth`` (not
+    serializable) must be re-attached by the caller when error
+    accounting should continue.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        require_keys(data, _REQUIRED_KEYS, path)
+        fmt = int(data["format"][0])
+        if fmt != CHECKPOINT_FORMAT:
+            raise ConfigurationError(
+                f"{path}: checkpoint format {fmt} unsupported "
+                f"(expected {CHECKPOINT_FORMAT})"
+            )
+        session_id = str(data["session_id"])
+        field = field_from_arrays(str(data["field_kind"]), data["field_params"])
+        sniffer_positions = data["sniffer_positions"]
+        config = TrackerConfig(**json.loads(str(data["config_json"])))
+        rng_state = json.loads(str(data["rng_state_json"]))
+        t_last = data["t_last"]
+        counters = json.loads(str(data["counters_json"]))
+        user_count = t_last.shape[0]
+        require_keys(
+            data,
+            [f"positions_{u}" for u in range(user_count)]
+            + [f"weights_{u}" for u in range(user_count)],
+            path,
+        )
+        sample_sets = []
+        for user in range(user_count):
+            samples = UserSamples(
+                positions=data[f"positions_{user}"],
+                weights=data[f"weights_{user}"],
+                t_last=float(t_last[user]),
+            )
+            # __post_init__ renormalizes; restore the exact stored
+            # weights so resumed estimates stay bitwise identical.
+            samples.weights = np.asarray(data[f"weights_{user}"], dtype=float)
+            sample_sets.append(samples)
+
+    # Construct with a throwaway RNG: __init__ draws the uniform prior,
+    # which would advance the restored stream. The real generator (and
+    # the checkpointed samples) are installed right after.
+    tracker = SequentialMonteCarloTracker(
+        field,
+        sniffer_positions,
+        user_count=user_count,
+        config=config,
+        rng=0,
+    )
+    tracker._rng = _generator_from_state(rng_state)
+    tracker.samples = sample_sets
+    metrics = StreamMetrics()
+    metrics.windows_processed = int(counters["windows_processed"])
+    metrics.windows_skipped.update(counters["windows_skipped"])
+    metrics.windows_dropped = int(counters["windows_dropped"])
+    session = TrackingSession(
+        session_id, tracker, truth=truth, metrics=metrics
+    )
+    session.windows_consumed = int(counters["windows_consumed"])
+    last_time = counters["last_time"]
+    session.last_time = None if last_time is None else float(last_time)
+    return session
+
+
+def _generator_from_state(state: dict) -> np.random.Generator:
+    """Reconstruct a Generator positioned exactly at a saved state."""
+    name = state.get("bit_generator")
+    bit_generator_cls = getattr(np.random, str(name), None)
+    if bit_generator_cls is None:
+        raise ConfigurationError(
+            f"checkpoint uses unknown bit generator {name!r}"
+        )
+    bit_generator = bit_generator_cls()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)

@@ -1,0 +1,186 @@
+"""Multiplexing many tracking sessions behind one ingestion front.
+
+The :class:`SessionManager` is the service's admission layer: producers
+``submit(session_id, observation)`` into a bounded FIFO work queue and
+a drain step routes queued windows to their sessions — serially, or
+fanned out across sessions on a thread pool. Two backpressure policies
+bound memory under overload:
+
+``drop_oldest``
+    A full queue sheds its oldest queued window (counted against the
+    owning session's ``windows_dropped``). Freshness wins — the SMC
+    tracker tolerates missing windows by design (paper §IV.D), so
+    shedding stale flux is strictly better than unbounded lag.
+``block``
+    ``submit`` drains the queue synchronously before admitting the new
+    window. Nothing is lost; the producer pays the latency.
+
+Sessions are single-threaded internally (the tracker mutates shared
+sample state); the fan-out parallelism is *across* sessions, with
+per-session FIFO order preserved.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, List, Tuple
+
+from repro.errors import ConfigurationError, StreamError
+from repro.stream.metrics import merge_metrics
+from repro.stream.session import TrackingSession
+from repro.traffic.measurement import FluxObservation
+
+_BACKPRESSURE_POLICIES = ("drop_oldest", "block")
+
+
+class SessionManager:
+    """Owns a fleet of sessions and a bounded ingestion queue.
+
+    Parameters
+    ----------
+    queue_size:
+        Maximum windows queued across all sessions before the
+        backpressure policy engages.
+    policy:
+        ``"drop_oldest"`` or ``"block"`` (see module docstring).
+    workers:
+        ``0`` processes inline during :meth:`drain`; ``>= 1`` fans the
+        drain out across sessions on a thread pool of that size.
+    """
+
+    def __init__(
+        self,
+        queue_size: int = 256,
+        policy: str = "drop_oldest",
+        workers: int = 0,
+    ):
+        if queue_size < 1:
+            raise ConfigurationError(
+                f"queue_size must be >= 1, got {queue_size}"
+            )
+        if policy not in _BACKPRESSURE_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {_BACKPRESSURE_POLICIES}, got {policy!r}"
+            )
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        self.queue_size = int(queue_size)
+        self.policy = policy
+        self.workers = int(workers)
+        self._sessions: "OrderedDict[str, TrackingSession]" = OrderedDict()
+        self._queue: Deque[Tuple[str, FluxObservation]] = deque()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def add_session(self, session: TrackingSession) -> TrackingSession:
+        with self._lock:
+            if session.session_id in self._sessions:
+                raise ConfigurationError(
+                    f"session {session.session_id!r} already registered"
+                )
+            self._sessions[session.session_id] = session
+        return session
+
+    def remove_session(self, session_id: str) -> TrackingSession:
+        """Deregister a session, discarding its queued windows."""
+        with self._lock:
+            if session_id not in self._sessions:
+                raise ConfigurationError(f"unknown session {session_id!r}")
+            session = self._sessions.pop(session_id)
+            self._queue = deque(
+                item for item in self._queue if item[0] != session_id
+            )
+        return session
+
+    def session(self, session_id: str) -> TrackingSession:
+        with self._lock:
+            if session_id not in self._sessions:
+                raise ConfigurationError(f"unknown session {session_id!r}")
+            return self._sessions[session_id]
+
+    @property
+    def session_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._sessions)
+
+    def queued(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def submit(self, session_id: str, observation: FluxObservation) -> bool:
+        """Enqueue one window for a session.
+
+        Returns ``False`` when the window (or an older one, under
+        ``drop_oldest``) was shed by backpressure; ``True`` when the
+        queue admitted it without loss.
+        """
+        if self._closed:
+            raise StreamError("manager is closed")
+        shed = False
+        with self._lock:
+            if session_id not in self._sessions:
+                raise ConfigurationError(f"unknown session {session_id!r}")
+            if len(self._queue) >= self.queue_size and self.policy == "block":
+                pass  # drain below, outside the lock
+            elif len(self._queue) >= self.queue_size:
+                victim_id, _ = self._queue.popleft()
+                self._sessions[victim_id].metrics.record_drop()
+                shed = True
+        if self.policy == "block":
+            while self.queued() >= self.queue_size:
+                self.drain()
+        with self._lock:
+            self._queue.append((session_id, observation))
+        return not shed
+
+    def drain(self) -> int:
+        """Process everything currently queued; returns windows processed.
+
+        Per-session order is FIFO regardless of ``workers``; distinct
+        sessions proceed concurrently when a pool is configured.
+        """
+        with self._lock:
+            batch = list(self._queue)
+            self._queue.clear()
+            sessions = dict(self._sessions)
+        if not batch:
+            return 0
+        by_session: "OrderedDict[str, List[FluxObservation]]" = OrderedDict()
+        for session_id, observation in batch:
+            by_session.setdefault(session_id, []).append(observation)
+
+        def _run(session_id: str) -> int:
+            session = sessions[session_id]
+            for observation in by_session[session_id]:
+                session.process(observation)
+            return len(by_session[session_id])
+
+        if self.workers >= 1 and len(by_session) > 1:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                counts = list(pool.map(_run, by_session))
+        else:
+            counts = [_run(session_id) for session_id in by_session]
+        return sum(counts)
+
+    def close(self) -> int:
+        """Flush the queue and refuse further submissions."""
+        processed = self.drain()
+        self._closed = True
+        return processed
+
+    # ------------------------------------------------------------------
+    def fleet_summary(self) -> Dict[str, object]:
+        """Aggregate metrics across all registered sessions."""
+        with self._lock:
+            sessions = dict(self._sessions)
+        summary = merge_metrics(
+            {sid: s.metrics for sid, s in sessions.items()}
+        )
+        summary["queued"] = self.queued()
+        summary["policy"] = self.policy
+        summary["workers"] = self.workers
+        return summary

@@ -1,0 +1,130 @@
+"""Operational metrics for the streaming tracking service.
+
+Every :class:`~repro.stream.session.TrackingSession` owns a
+:class:`StreamMetrics`; the :class:`~repro.stream.manager.SessionManager`
+aggregates them. Metrics are plain counters plus a bounded latency
+reservoir, exportable as JSON for dashboards and the perf-trajectory
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class StreamMetrics:
+    """Counters and latency quantiles for one stream of windows.
+
+    Parameters
+    ----------
+    latency_capacity:
+        Maximum number of per-window step latencies retained (ring
+        buffer). Quantiles are computed over the retained window, so a
+        long-running session reports *recent* latency, not lifetime.
+    """
+
+    def __init__(self, latency_capacity: int = 4096):
+        if latency_capacity < 1:
+            raise ConfigurationError(
+                f"latency_capacity must be >= 1, got {latency_capacity}"
+            )
+        self.latency_capacity = int(latency_capacity)
+        self.windows_processed = 0
+        self.windows_skipped: Counter = Counter()
+        self.windows_dropped = 0
+        self._latencies = np.empty(self.latency_capacity, dtype=float)
+        self._latency_count = 0  # total ever recorded
+        self._error_sum = 0.0
+        self._error_count = 0
+
+    # ------------------------------------------------------------------
+    def record_window(
+        self, latency_seconds: float, mean_error: Optional[float] = None
+    ) -> None:
+        """Account one successfully processed window."""
+        self.windows_processed += 1
+        self._latencies[self._latency_count % self.latency_capacity] = float(
+            latency_seconds
+        )
+        self._latency_count += 1
+        if mean_error is not None and np.isfinite(mean_error):
+            self._error_sum += float(mean_error)
+            self._error_count += 1
+
+    def record_skip(self, reason: str) -> None:
+        """Account one window rejected by session validation."""
+        self.windows_skipped[reason] += 1
+
+    def record_drop(self, count: int = 1) -> None:
+        """Account windows shed by queue backpressure before processing."""
+        self.windows_dropped += int(count)
+
+    # ------------------------------------------------------------------
+    @property
+    def skipped_total(self) -> int:
+        return int(sum(self.windows_skipped.values()))
+
+    def latency_quantiles(self) -> Dict[str, float]:
+        """p50/p95 step latency (seconds) over the retained reservoir."""
+        n = min(self._latency_count, self.latency_capacity)
+        if n == 0:
+            return {"p50": float("nan"), "p95": float("nan")}
+        window = self._latencies[:n]
+        return {
+            "p50": float(np.quantile(window, 0.50)),
+            "p95": float(np.quantile(window, 0.95)),
+        }
+
+    def mean_error(self) -> float:
+        """Mean per-window tracking error when ground truth was attached."""
+        if self._error_count == 0:
+            return float("nan")
+        return self._error_sum / self._error_count
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        quantiles = self.latency_quantiles()
+        return {
+            "windows_processed": self.windows_processed,
+            "windows_skipped": dict(self.windows_skipped),
+            "windows_skipped_total": self.skipped_total,
+            "windows_dropped": self.windows_dropped,
+            "latency_p50_s": quantiles["p50"],
+            "latency_p95_s": quantiles["p95"],
+            "mean_error": self.mean_error(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        def _nan_safe(value):
+            if isinstance(value, float) and not np.isfinite(value):
+                return None
+            return value
+
+        payload = {k: _nan_safe(v) for k, v in self.to_dict().items()}
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def merge_metrics(metrics_by_session: Dict[str, StreamMetrics]) -> Dict[str, object]:
+    """Fleet-level summary across sessions (for the manager / benchmarks)."""
+    summary: Dict[str, object] = {
+        "sessions": len(metrics_by_session),
+        "windows_processed": sum(
+            m.windows_processed for m in metrics_by_session.values()
+        ),
+        "windows_skipped_total": sum(
+            m.skipped_total for m in metrics_by_session.values()
+        ),
+        "windows_dropped": sum(
+            m.windows_dropped for m in metrics_by_session.values()
+        ),
+        "per_session": {
+            sid: m.to_dict() for sid, m in metrics_by_session.items()
+        },
+    }
+    return summary

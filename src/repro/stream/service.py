@@ -1,0 +1,120 @@
+"""The streaming service loop: source -> session -> checkpoints.
+
+:func:`run_stream` is the single-session pump used by the CLI
+(``repro track-stream``) and the examples; :func:`resume_or_create`
+implements the crash-recovery contract (load the checkpoint when one
+exists, otherwise build a fresh session). Multi-session deployments
+compose the same pieces through :class:`repro.stream.manager.SessionManager`.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.stream.checkpoint import load_checkpoint, save_checkpoint
+from repro.stream.session import TrackingSession, TruthProvider
+from repro.stream.sources import ObservationSource
+
+_PathLike = Union[str, Path]
+
+
+def resume_or_create(
+    checkpoint_path: _PathLike,
+    factory: Callable[[], TrackingSession],
+    truth: Optional[TruthProvider] = None,
+) -> TrackingSession:
+    """Load the session from ``checkpoint_path`` if present, else build one.
+
+    The crash-recovery idiom::
+
+        session = resume_or_create("run.ckpt.npz", make_session)
+        run_stream(source, session, checkpoint_path="run.ckpt.npz",
+                   checkpoint_every=10)
+
+    A process killed mid-run restarts with the same two lines and
+    continues deterministically.
+    """
+    path = Path(checkpoint_path)
+    if path.exists():
+        return load_checkpoint(path, truth=truth)
+    session = factory()
+    if truth is not None and session.truth is None:
+        session.truth = truth
+    return session
+
+
+def run_stream(
+    source: ObservationSource,
+    session: TrackingSession,
+    checkpoint_path: Optional[_PathLike] = None,
+    checkpoint_every: int = 0,
+    max_windows: Optional[int] = None,
+    fast_forward: bool = True,
+    on_step: Optional[Callable[[TrackingSession, object], None]] = None,
+) -> TrackingSession:
+    """Pump a source through a session until exhaustion (or ``max_windows``).
+
+    Parameters
+    ----------
+    source:
+        Observation stream. Replayable sources (``ReplaySource``,
+        ``JsonlTailSource`` over a stable file) restart from their
+        beginning each run; see ``fast_forward``.
+    session:
+        The session to drive — typically from :func:`resume_or_create`.
+    checkpoint_path:
+        When set, the session is checkpointed here every
+        ``checkpoint_every`` consumed windows and once more at exit.
+    checkpoint_every:
+        Checkpoint cadence in consumed windows; ``0`` checkpoints only
+        at exit.
+    max_windows:
+        Stop after consuming this many windows *this run* (kill-switch
+        for tests and bounded batch jobs); ``None`` runs to exhaustion.
+    fast_forward:
+        When the session has already consumed windows (a resumed run),
+        discard that many leading windows from the source before
+        processing. Leave on for replayable sources; turn off for live
+        feeds that never repeat old windows.
+    on_step:
+        Observer called as ``on_step(session, step_or_none)`` after each
+        consumed window (``None`` for skipped windows).
+    """
+    if checkpoint_every < 0:
+        raise ConfigurationError(
+            f"checkpoint_every must be >= 0, got {checkpoint_every}"
+        )
+    if max_windows is not None and max_windows < 0:
+        raise ConfigurationError(
+            f"max_windows must be >= 0, got {max_windows}"
+        )
+    iterator = iter(source)
+    if fast_forward and session.windows_consumed > 0:
+        # Consume-and-discard is source-agnostic and exact for replays:
+        # the session already accounted these windows before the kill.
+        next(islice(iterator, session.windows_consumed,
+                    session.windows_consumed), None)
+    consumed_this_run = 0
+    try:
+        while max_windows is None or consumed_this_run < max_windows:
+            try:
+                observation = next(iterator)
+            except StopIteration:
+                break
+            step = session.process(observation)
+            consumed_this_run += 1
+            if on_step is not None:
+                on_step(session, step)
+            if (
+                checkpoint_path is not None
+                and checkpoint_every > 0
+                and session.windows_consumed % checkpoint_every == 0
+            ):
+                save_checkpoint(session, checkpoint_path)
+    finally:
+        if checkpoint_path is not None:
+            save_checkpoint(session, checkpoint_path)
+    return session

@@ -1,0 +1,265 @@
+"""Observation sources feeding the streaming tracking service.
+
+A source is anything iterable over :class:`FluxObservation` — the
+service pulls windows one at a time, mirroring the online shape of
+Algorithm 4.1. Three concrete sources cover the common deployments:
+
+``ReplaySource``
+    Replays an archived ``.npz`` observation log (or an in-memory
+    list) — offline re-analysis and deterministic tests.
+``SyntheticLiveSource``
+    Simulates a live scenario window by window: mobile users walk a
+    network, flux is simulated and measured on demand. Carries its own
+    ground truth for error accounting.
+``JsonlTailSource``
+    Tails a JSONL file produced by an external collector, tolerating
+    malformed lines (counted, never fatal) and ends after a
+    configurable idle period.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+try:  # Protocol is typing-only sugar; keep 3.9 compatibility cheap.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - python < 3.8
+    Protocol = object  # type: ignore
+
+    def runtime_checkable(cls):  # type: ignore
+        return cls
+
+from repro.errors import ConfigurationError, StreamError
+from repro.network.topology import Network
+from repro.traffic.measurement import FluxObservation, MeasurementModel
+from repro.util.rng import RandomState, as_generator
+
+_PathLike = Union[str, Path]
+
+
+@runtime_checkable
+class ObservationSource(Protocol):
+    """Anything that yields a time-ordered stream of flux observations."""
+
+    def __iter__(self) -> Iterator[FluxObservation]: ...
+
+
+class ReplaySource:
+    """Replay an observation list or an archived ``.npz`` log.
+
+    Parameters
+    ----------
+    observations:
+        The windows to replay, in order.
+    start_index:
+        Skip this many leading windows — used by checkpoint resume to
+        fast-forward to where the killed run stopped.
+    """
+
+    def __init__(
+        self,
+        observations: Sequence[FluxObservation],
+        start_index: int = 0,
+    ):
+        if start_index < 0:
+            raise ConfigurationError(
+                f"start_index must be >= 0, got {start_index}"
+            )
+        self.observations = list(observations)
+        self.start_index = int(start_index)
+
+    @classmethod
+    def from_npz(cls, path: _PathLike, start_index: int = 0) -> "ReplaySource":
+        """Load a log saved by :func:`repro.util.persistence.save_observations`."""
+        from repro.util.persistence import load_observations
+
+        return cls(load_observations(path), start_index=start_index)
+
+    def __len__(self) -> int:
+        return max(0, len(self.observations) - self.start_index)
+
+    def __iter__(self) -> Iterator[FluxObservation]:
+        return iter(self.observations[self.start_index :])
+
+
+class SyntheticLiveSource:
+    """Generate a live scenario lazily: simulate, measure, yield.
+
+    Each iteration pass replays the *same* scenario (trajectories are
+    drawn once at construction), but flux simulation and measurement
+    noise draw from the source RNG on demand — the observation for
+    window ``k`` does not exist until the consumer asks for it, which
+    is what distinguishes a live feed from a replay log.
+
+    Parameters
+    ----------
+    network:
+        Deployment to simulate over.
+    sniffers:
+        ``(n,)`` sniffed node indices.
+    user_count:
+        Mobile users to walk the field.
+    rounds:
+        Number of observation windows to emit.
+    max_speed:
+        Upper bound of the per-user waypoint speeds.
+    window:
+        Window length ``delta_t`` between observations.
+    smooth:
+        Apply neighborhood smoothing in the measurement model.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        sniffers: np.ndarray,
+        user_count: int = 2,
+        rounds: int = 20,
+        max_speed: float = 5.0,
+        window: float = 1.0,
+        smooth: bool = True,
+        rng: RandomState = None,
+    ):
+        from repro.mobility import random_waypoint_trajectory
+        from repro.traffic import FluxSimulator, synchronous_schedule
+
+        if user_count < 1:
+            raise ConfigurationError(
+                f"user_count must be >= 1, got {user_count}"
+            )
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        gen = as_generator(rng)
+        self.network = network
+        self.user_count = int(user_count)
+        self.rounds = int(rounds)
+        self.window = float(window)
+        self.trajectories = [
+            random_waypoint_trajectory(
+                network.field,
+                rounds=self.rounds,
+                speed=float(gen.uniform(max_speed * 0.4, max_speed * 0.9)),
+                rng=gen,
+            )
+            for _ in range(self.user_count)
+        ]
+        self.stretches = list(gen.uniform(1.0, 3.0, self.user_count))
+        self._schedule = synchronous_schedule(
+            [t.positions for t in self.trajectories], self.stretches
+        )
+        self._simulator = FluxSimulator(network, rng=gen)
+        self._measure = MeasurementModel(
+            network, sniffers, smooth=smooth, rng=gen
+        )
+        self._truth_by_time: dict = {}
+
+    def truth_at(self, time: float) -> Optional[np.ndarray]:
+        """``(K, 2)`` true positions for an already-emitted window."""
+        return self._truth_by_time.get(float(time))
+
+    def __iter__(self) -> Iterator[FluxObservation]:
+        for round_idx, (t, events) in enumerate(
+            self._schedule.windows(self.window)
+        ):
+            flux = self._simulator.window_flux(events).total
+            self._truth_by_time[float(t)] = np.stack(
+                [tr.positions[round_idx] for tr in self.trajectories]
+            )
+            yield self._measure.observe(flux, time=t)
+
+
+class JsonlTailSource:
+    """Follow a JSONL observation feed written by an external process.
+
+    Each line is ``{"time": t, "sniffers": [...], "values": [...]}``
+    (optionally ``"raw_values"``). Lines that fail to parse or build a
+    :class:`FluxObservation` are counted in :attr:`parse_errors` and
+    skipped — a corrupt line must never kill the service loop.
+
+    The source keeps polling the file for new lines; it stops once no
+    new data arrives for ``idle_timeout`` seconds (``0`` reads the file
+    once and stops at EOF — the batch-replay degenerate case).
+    """
+
+    def __init__(
+        self,
+        path: _PathLike,
+        poll_interval: float = 0.05,
+        idle_timeout: float = 0.0,
+    ):
+        if poll_interval <= 0:
+            raise ConfigurationError(
+                f"poll_interval must be > 0, got {poll_interval}"
+            )
+        if idle_timeout < 0:
+            raise ConfigurationError(
+                f"idle_timeout must be >= 0, got {idle_timeout}"
+            )
+        self.path = Path(path)
+        self.poll_interval = float(poll_interval)
+        self.idle_timeout = float(idle_timeout)
+        self.parse_errors = 0
+
+    def _parse(self, line: str) -> Optional[FluxObservation]:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            record = json.loads(line)
+            raw = record.get("raw_values")
+            return FluxObservation(
+                time=float(record["time"]),
+                sniffers=np.asarray(record["sniffers"], dtype=np.int64),
+                values=np.asarray(record["values"], dtype=float),
+                raw_values=None if raw is None else np.asarray(raw, dtype=float),
+            )
+        except (ValueError, TypeError, KeyError, ConfigurationError):
+            self.parse_errors += 1
+            return None
+
+    def __iter__(self) -> Iterator[FluxObservation]:
+        if not self.path.exists():
+            raise StreamError(f"JSONL source {self.path} does not exist")
+        with self.path.open("r") as handle:
+            idle_since = _time.monotonic()
+            buffer = ""
+            while True:
+                chunk = handle.readline()
+                if chunk:
+                    buffer += chunk
+                    if not buffer.endswith("\n"):
+                        # partial line: the writer is mid-append; wait.
+                        continue
+                    obs = self._parse(buffer)
+                    buffer = ""
+                    idle_since = _time.monotonic()
+                    if obs is not None:
+                        yield obs
+                    continue
+                if _time.monotonic() - idle_since >= self.idle_timeout:
+                    if buffer:  # writer quit mid-line; salvage what's there
+                        obs = self._parse(buffer)
+                        if obs is not None:
+                            yield obs
+                    return
+                _time.sleep(self.poll_interval)
+
+
+def observation_to_jsonl(observation: FluxObservation) -> str:
+    """Render one observation as a JSONL line (inverse of the tail source)."""
+    record = {
+        "time": float(observation.time),
+        "sniffers": [int(s) for s in observation.sniffers],
+        "values": [
+            None if not np.isfinite(v) else float(v)
+            for v in observation.values
+        ],
+    }
+    if observation.raw_values is not None:
+        record["raw_values"] = [float(v) for v in observation.raw_values]
+    return json.dumps(record)

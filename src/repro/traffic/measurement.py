@@ -32,17 +32,31 @@ class FluxObservation:
     sniffers:
         ``(n,)`` indices of the reporting nodes.
     values:
-        ``(n,)`` measured flux at those nodes.
+        ``(n,)`` measured flux at those nodes — *after* smoothing and
+        noise; this is what the attack consumes.
+    raw_values:
+        Optional ``(n,)`` pre-noise readings, kept when the measurement
+        pipeline smooths or perturbs ``values`` so archives can be
+        re-analyzed against the clean signal. ``None`` in the paper's
+        exact-count setting.
     """
 
     time: float
     sniffers: np.ndarray
     values: np.ndarray
+    raw_values: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.sniffers.shape != self.values.shape:
             raise ConfigurationError(
                 f"sniffers {self.sniffers.shape} and values {self.values.shape} differ"
+            )
+        if self.raw_values is not None and (
+            self.raw_values.shape != self.values.shape
+        ):
+            raise ConfigurationError(
+                f"raw_values {self.raw_values.shape} and values "
+                f"{self.values.shape} differ"
             )
 
     @property
@@ -123,9 +137,14 @@ class MeasurementModel:
             raise ConfigurationError(
                 f"flux must have shape ({self.network.node_count},), got {flux.shape}"
             )
+        raw = flux[self.sniffers].copy()
         if self.smooth:
             flux = smooth_flux(self.network, flux)
         readings = self.noise.apply(flux[self.sniffers], self._rng)
+        altered = self.smooth or not isinstance(self.noise, NoNoise)
         return FluxObservation(
-            time=float(time), sniffers=self.sniffers.copy(), values=readings
+            time=float(time),
+            sniffers=self.sniffers.copy(),
+            values=readings,
+            raw_values=raw if altered else None,
         )

@@ -2,13 +2,18 @@
 
 Experiments that sweep many attack configurations over the *same*
 deployment can save the network once and reload it; observation logs
-can be archived for offline re-analysis.
+can be archived for offline re-analysis or replayed through the
+streaming service (:mod:`repro.stream`).
+
+All loaders raise :class:`repro.errors.ConfigurationError` on archives
+missing expected keys, so a truncated or foreign ``.npz`` fails with an
+actionable message instead of a raw numpy ``KeyError``.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Union
+from typing import List, Tuple, Union
 
 import numpy as np
 
@@ -21,27 +26,52 @@ from repro.traffic.measurement import FluxObservation
 _PathLike = Union[str, Path]
 
 
-def save_network(network: Network, path: _PathLike) -> Path:
-    """Serialize a network (field + positions + radius) to ``.npz``.
+def field_to_arrays(field: Field) -> Tuple[str, np.ndarray]:
+    """Flatten a field into ``(kind, params)`` arrays for npz storage.
 
     Only rectangular and circular fields are supported (polygon fields
     would need vertex serialization; add when needed).
     """
-    field = network.field
     if isinstance(field, RectangularField):
-        field_kind = "rectangular"
-        field_params = np.array(
+        return "rectangular", np.array(
             [field.width, field.height, field.xmin, field.ymin]
         )
-    elif isinstance(field, CircularField):
-        field_kind = "circular"
-        field_params = np.array(
+    if isinstance(field, CircularField):
+        return "circular", np.array(
             [field.radius, field.center[0], field.center[1], 0.0]
         )
-    else:
-        raise ConfigurationError(
-            f"cannot serialize field type {type(field).__name__}"
+    raise ConfigurationError(
+        f"cannot serialize field type {type(field).__name__}"
+    )
+
+
+def field_from_arrays(kind: str, params: np.ndarray) -> Field:
+    """Rebuild a field from :func:`field_to_arrays` output."""
+    if kind == "rectangular":
+        return RectangularField(
+            float(params[0]), float(params[1]),
+            origin=(float(params[2]), float(params[3])),
         )
+    if kind == "circular":
+        return CircularField(
+            float(params[0]), center=(float(params[1]), float(params[2]))
+        )
+    raise ConfigurationError(f"unknown field kind {kind!r}")
+
+
+def require_keys(data, keys, path: _PathLike) -> None:
+    """Check that a loaded npz has every expected key."""
+    missing = [k for k in keys if k not in getattr(data, "files", data)]
+    if missing:
+        raise ConfigurationError(
+            f"{Path(path)} is missing expected keys {missing}; "
+            "was it saved by a different repro version or tool?"
+        )
+
+
+def save_network(network: Network, path: _PathLike) -> Path:
+    """Serialize a network (field + positions + radius) to ``.npz``."""
+    field_kind, field_params = field_to_arrays(network.field)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(
@@ -57,21 +87,14 @@ def save_network(network: Network, path: _PathLike) -> Path:
 def load_network(path: _PathLike) -> Network:
     """Load a network saved by :func:`save_network` (graph is rebuilt)."""
     with np.load(Path(path), allow_pickle=False) as data:
+        require_keys(
+            data, ("field_kind", "field_params", "positions", "radius"), path
+        )
         kind = str(data["field_kind"])
         params = data["field_params"]
         positions = data["positions"]
         radius = float(data["radius"][0])
-    if kind == "rectangular":
-        field: Field = RectangularField(
-            float(params[0]), float(params[1]),
-            origin=(float(params[2]), float(params[3])),
-        )
-    elif kind == "circular":
-        field = CircularField(
-            float(params[0]), center=(float(params[1]), float(params[2]))
-        )
-    else:
-        raise ConfigurationError(f"unknown field kind {kind!r} in {path}")
+    field = field_from_arrays(kind, params)
     return Network(
         field=field, positions=positions, graph=UnitDiskGraph(positions, radius)
     )
@@ -83,7 +106,9 @@ def save_observations(
     """Archive an observation stream to ``.npz``.
 
     All observations must share the same sniffer set (the normal case:
-    one adversary deployment).
+    one adversary deployment). Observations carrying pre-noise
+    ``raw_values`` (smoothed / noisy measurement pipelines) round-trip
+    those too, provided every observation in the list carries them.
     """
     if not observations:
         raise ConfigurationError("need at least one observation")
@@ -93,26 +118,40 @@ def save_observations(
             raise ConfigurationError(
                 "all observations must share one sniffer set"
             )
+    with_raw = [obs.raw_values is not None for obs in observations]
+    if any(with_raw) and not all(with_raw):
+        raise ConfigurationError(
+            "either every observation carries raw_values or none does"
+        )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
-        path,
+    arrays = dict(
         sniffers=sniffers,
         times=np.array([obs.time for obs in observations]),
         values=np.stack([obs.values for obs in observations]),
     )
+    if all(with_raw):
+        arrays["raw_values"] = np.stack(
+            [obs.raw_values for obs in observations]
+        )
+    np.savez_compressed(path, **arrays)
     return path
 
 
 def load_observations(path: _PathLike) -> List[FluxObservation]:
     """Load an observation stream saved by :func:`save_observations`."""
     with np.load(Path(path), allow_pickle=False) as data:
+        require_keys(data, ("sniffers", "times", "values"), path)
         sniffers = data["sniffers"]
         times = data["times"]
         values = data["values"]
+        raw = data["raw_values"] if "raw_values" in data.files else None
     return [
         FluxObservation(
-            time=float(times[i]), sniffers=sniffers.copy(), values=values[i]
+            time=float(times[i]),
+            sniffers=sniffers.copy(),
+            values=values[i],
+            raw_values=None if raw is None else raw[i],
         )
         for i in range(times.shape[0])
     ]

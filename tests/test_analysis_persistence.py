@@ -170,3 +170,76 @@ class TestObservationPersistence:
         ]
         loaded = load_observations(save_observations(obs, tmp_path / "n.npz"))
         assert np.isnan(loaded[0].values[1])
+
+    def test_raw_values_roundtrip(self, tmp_path):
+        """Smoothed/noisy observations keep their pre-noise readings."""
+        sniffers = np.arange(3)
+        obs = [
+            FluxObservation(
+                time=float(t),
+                sniffers=sniffers,
+                values=np.array([1.0, 2.0, 3.0]) * (t + 1),
+                raw_values=np.array([1.5, 2.5, 3.5]) * (t + 1),
+            )
+            for t in range(3)
+        ]
+        loaded = load_observations(save_observations(obs, tmp_path / "r.npz"))
+        for a, b in zip(obs, loaded):
+            np.testing.assert_allclose(a.raw_values, b.raw_values)
+
+    def test_without_raw_values_loads_none(self, tmp_path):
+        obs = self._observations()
+        loaded = load_observations(save_observations(obs, tmp_path / "p.npz"))
+        assert all(o.raw_values is None for o in loaded)
+
+    def test_mixed_raw_values_rejected(self, tmp_path):
+        sniffers = np.arange(3)
+        a = FluxObservation(
+            time=0.0, sniffers=sniffers, values=np.ones(3),
+            raw_values=np.ones(3),
+        )
+        b = FluxObservation(time=1.0, sniffers=sniffers, values=np.ones(3))
+        with pytest.raises(ConfigurationError):
+            save_observations([a, b], tmp_path / "m.npz")
+
+    def test_measurement_model_populates_raw_values(self, small_network):
+        from repro.network import sample_sniffers_percentage
+        from repro.traffic.measurement import GaussianNoise, MeasurementModel
+
+        sniffers = sample_sniffers_percentage(small_network, 20, rng=1)
+        flux = np.abs(np.random.default_rng(0).normal(
+            5.0, 1.0, small_network.node_count
+        ))
+        exact = MeasurementModel(small_network, sniffers).observe(flux)
+        assert exact.raw_values is None  # the paper's exact-count setting
+        noisy = MeasurementModel(
+            small_network, sniffers, noise=GaussianNoise(0.2), rng=2
+        ).observe(flux)
+        np.testing.assert_allclose(noisy.raw_values, flux[sniffers])
+        smoothed = MeasurementModel(
+            small_network, sniffers, smooth=True, rng=2
+        ).observe(flux)
+        np.testing.assert_allclose(smoothed.raw_values, flux[sniffers])
+
+
+class TestMissingKeys:
+    def test_observations_missing_keys(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        np.savez_compressed(path, times=np.arange(3.0))
+        with pytest.raises(ConfigurationError, match="missing expected keys"):
+            load_observations(path)
+
+    def test_network_missing_keys(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        np.savez_compressed(path, positions=np.zeros((3, 2)))
+        with pytest.raises(ConfigurationError, match="missing expected keys"):
+            load_network(path)
+
+    def test_message_names_the_file_and_keys(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        np.savez_compressed(path, sniffers=np.arange(3))
+        with pytest.raises(ConfigurationError) as excinfo:
+            load_observations(path)
+        message = str(excinfo.value)
+        assert "broken.npz" in message
+        assert "times" in message and "values" in message

@@ -31,6 +31,31 @@ class TestParser:
         args = build_parser().parse_args(["track", "--crossing"])
         assert args.crossing
 
+    def test_track_stream_defaults(self):
+        args = build_parser().parse_args(["track-stream"])
+        assert args.input is None
+        assert args.checkpoint is None
+        assert args.checkpoint_every == 0
+
+
+class TestExitCodes:
+    def test_version_flag(self, capsys):
+        import repro
+
+        assert main(["--version"]) == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        assert main(["definitely-not-a-command"]) == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_missing_subcommand_exits_2(self):
+        assert main([]) == 2
+
+    def test_help_exits_0(self, capsys):
+        assert main(["--help"]) == 0
+        assert "track-stream" in capsys.readouterr().out
+
 
 _SMALL = ["--nodes", "225", "--field", "15", "--radius", "2.0"]
 
@@ -111,6 +136,114 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "padding" in out and "dummy_sinks" in out
+
+
+class TestTrackStream:
+    _STREAM = [
+        "track-stream", *_SMALL,
+        "--users", "1", "--percentage", "20", "--predictions", "120",
+    ]
+
+    def test_synthetic_stream(self, capsys):
+        rc = main(["--seed", "11", *self._STREAM, "--rounds", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "final estimates" in out
+        assert '"windows_processed": 4' in out
+
+    def test_replay_checkpoint_kill_resume(self, tmp_path, capsys):
+        """Replay a saved log end-to-end with a mid-run kill/resume and a
+        malformed (out-of-order) observation injected into the log."""
+        import numpy as np
+
+        from repro.network import build_network, sample_sniffers_percentage
+        from repro.geometry import RectangularField
+        from repro.smc import SequentialMonteCarloTracker, TrackerConfig
+        from repro.stream import SyntheticLiveSource
+        from repro.util.persistence import save_observations
+
+        net = build_network(
+            field=RectangularField(15, 15), node_count=225, radius=2.0,
+            rng=np.random.default_rng(11),
+        )
+        sniffers = sample_sniffers_percentage(net, 20, rng=1)
+        observations = list(
+            SyntheticLiveSource(net, sniffers, user_count=1, rounds=6, rng=2)
+        )
+        # inject an out-of-order window: the stream layer must skip it
+        polluted = list(observations)
+        polluted.insert(3, observations[0])
+        log = save_observations(polluted, tmp_path / "log.npz")
+        net_path = tmp_path / "net.npz"
+        from repro.util.persistence import save_network
+
+        save_network(net, net_path)
+        ckpt = tmp_path / "run.ckpt.npz"
+
+        base = [
+            "track-stream", "--network", str(net_path),
+            "--input", str(log), "--users", "1", "--predictions", "120",
+            "--checkpoint", str(ckpt),
+        ]
+        # killed after 3 windows...
+        assert main(["--seed", "5", *base, "--max-windows", "3"]) == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+        # ...resumed to the end
+        assert main(["--seed", "5", *base]) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
+        assert '"windows_processed": 6' in out
+        assert '"out_of_order": 1' in out
+
+        # and the final estimates match the equivalent batch run
+        tracker = SequentialMonteCarloTracker(
+            net.field, net.positions[sniffers], user_count=1,
+            config=TrackerConfig(prediction_count=120, keep_count=10),
+            rng=np.random.default_rng(5),
+        )
+        for obs in observations:
+            tracker.step(obs)
+        for x, y in tracker.estimates():
+            assert f"({x:6.2f}, {y:6.2f})" in out
+
+    def test_both_input_and_jsonl_rejected(self, tmp_path, capsys):
+        rc = main(
+            ["track-stream", "--input", "a.npz", "--jsonl", "b.jsonl"]
+        )
+        assert rc == 2
+
+    def test_jsonl_stream(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.geometry import RectangularField
+        from repro.network import build_network, sample_sniffers_percentage
+        from repro.stream import SyntheticLiveSource, observation_to_jsonl
+        from repro.util.persistence import save_network
+
+        net = build_network(
+            field=RectangularField(15, 15), node_count=225, radius=2.0,
+            rng=np.random.default_rng(11),
+        )
+        sniffers = sample_sniffers_percentage(net, 20, rng=1)
+        observations = list(
+            SyntheticLiveSource(net, sniffers, user_count=1, rounds=3, rng=2)
+        )
+        feed = tmp_path / "feed.jsonl"
+        lines = [observation_to_jsonl(o) for o in observations]
+        lines.insert(1, "garbage that is not json")
+        feed.write_text("\n".join(lines) + "\n")
+        net_path = save_network(net, tmp_path / "net.npz")
+        rc = main(
+            [
+                "--seed", "5", "track-stream",
+                "--network", str(net_path), "--jsonl", str(feed),
+                "--users", "1", "--predictions", "120",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"windows_processed": 3' in out
 
 
 class TestAblationExperiments:

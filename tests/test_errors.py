@@ -9,6 +9,7 @@ from repro.errors import (
     FittingError,
     GeometryError,
     ReproError,
+    StreamError,
     TraceError,
     TrackingError,
 )
@@ -21,6 +22,7 @@ ALL_ERRORS = [
     FittingError,
     TrackingError,
     TraceError,
+    StreamError,
 ]
 
 

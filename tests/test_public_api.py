@@ -23,6 +23,7 @@ class TestExports:
         import repro.network
         import repro.routing
         import repro.smc
+        import repro.stream
         import repro.traces
         import repro.traffic
 
@@ -34,6 +35,7 @@ class TestExports:
             repro.fluxmodel,
             repro.fingerprint,
             repro.smc,
+            repro.stream,
             repro.traces,
         ):
             for name in module.__all__:

@@ -1,0 +1,163 @@
+"""SessionManager: multiplexing, backpressure policies, thread fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, StreamError
+from repro.network import sample_sniffers_percentage
+from repro.smc import SequentialMonteCarloTracker, TrackerConfig
+from repro.stream import SessionManager, SyntheticLiveSource, TrackingSession
+
+_CFG = TrackerConfig(prediction_count=100, keep_count=8)
+
+
+@pytest.fixture()
+def fleet(small_network):
+    """Three independent sessions plus a shared observation list."""
+    sniffers = sample_sniffers_percentage(small_network, 20, rng=1)
+    observations = list(
+        SyntheticLiveSource(
+            small_network, sniffers, user_count=1, rounds=5, rng=2
+        )
+    )
+
+    def make_session(session_id, seed=11):
+        tracker = SequentialMonteCarloTracker(
+            small_network.field,
+            small_network.positions[sniffers],
+            user_count=1,
+            config=_CFG,
+            rng=seed,
+        )
+        return TrackingSession(session_id, tracker)
+
+    return observations, make_session
+
+
+class TestRegistration:
+    def test_add_and_lookup(self, fleet):
+        _, make_session = fleet
+        manager = SessionManager()
+        session = manager.add_session(make_session("a"))
+        assert manager.session("a") is session
+        assert manager.session_ids == ["a"]
+
+    def test_duplicate_id_rejected(self, fleet):
+        _, make_session = fleet
+        manager = SessionManager()
+        manager.add_session(make_session("a"))
+        with pytest.raises(ConfigurationError):
+            manager.add_session(make_session("a"))
+
+    def test_unknown_session_rejected(self, fleet):
+        observations, _ = fleet
+        manager = SessionManager()
+        with pytest.raises(ConfigurationError):
+            manager.submit("ghost", observations[0])
+        with pytest.raises(ConfigurationError):
+            manager.session("ghost")
+        with pytest.raises(ConfigurationError):
+            manager.remove_session("ghost")
+
+    def test_remove_discards_queue(self, fleet):
+        observations, make_session = fleet
+        manager = SessionManager()
+        manager.add_session(make_session("a"))
+        manager.submit("a", observations[0])
+        manager.remove_session("a")
+        assert manager.queued() == 0
+        assert manager.session_ids == []
+
+
+class TestProcessing:
+    def test_multiplexes_sessions(self, fleet):
+        observations, make_session = fleet
+        manager = SessionManager()
+        for sid in ("a", "b", "c"):
+            manager.add_session(make_session(sid))
+        for obs in observations:
+            for sid in ("a", "b", "c"):
+                manager.submit(sid, obs)
+        processed = manager.drain()
+        assert processed == 3 * len(observations)
+        for sid in ("a", "b", "c"):
+            assert (
+                manager.session(sid).metrics.windows_processed
+                == len(observations)
+            )
+
+    def test_threaded_drain_matches_serial(self, fleet):
+        observations, make_session = fleet
+        serial = SessionManager(workers=0)
+        threaded = SessionManager(workers=4)
+        for manager in (serial, threaded):
+            for sid in ("a", "b", "c"):
+                manager.add_session(make_session(sid, seed=23))
+            for obs in observations:
+                for sid in ("a", "b", "c"):
+                    manager.submit(sid, obs)
+            manager.drain()
+        for sid in ("a", "b", "c"):
+            np.testing.assert_array_equal(
+                serial.session(sid).estimates(),
+                threaded.session(sid).estimates(),
+            )
+
+    def test_fleet_summary(self, fleet):
+        observations, make_session = fleet
+        manager = SessionManager(workers=2)
+        manager.add_session(make_session("a"))
+        manager.add_session(make_session("b"))
+        for obs in observations[:2]:
+            manager.submit("a", obs)
+            manager.submit("b", obs)
+        manager.drain()
+        summary = manager.fleet_summary()
+        assert summary["sessions"] == 2
+        assert summary["windows_processed"] == 4
+        assert set(summary["per_session"]) == {"a", "b"}
+
+
+class TestBackpressure:
+    def test_drop_oldest_sheds_and_counts(self, fleet):
+        observations, make_session = fleet
+        manager = SessionManager(queue_size=2, policy="drop_oldest")
+        manager.add_session(make_session("a"))
+        assert manager.submit("a", observations[0])
+        assert manager.submit("a", observations[1])
+        assert not manager.submit("a", observations[2])  # sheds obs[0]
+        assert manager.queued() == 2
+        manager.drain()
+        session = manager.session("a")
+        assert session.metrics.windows_dropped == 1
+        assert session.metrics.windows_processed == 2
+        # the oldest window was the one shed
+        assert session.last_time == observations[2].time
+
+    def test_block_policy_loses_nothing(self, fleet):
+        observations, make_session = fleet
+        manager = SessionManager(queue_size=2, policy="block")
+        manager.add_session(make_session("a"))
+        for obs in observations:
+            assert manager.submit("a", obs)
+        manager.drain()
+        session = manager.session("a")
+        assert session.metrics.windows_dropped == 0
+        assert session.metrics.windows_processed == len(observations)
+
+    def test_closed_manager_refuses_submissions(self, fleet):
+        observations, make_session = fleet
+        manager = SessionManager()
+        manager.add_session(make_session("a"))
+        manager.submit("a", observations[0])
+        assert manager.close() == 1
+        with pytest.raises(StreamError):
+            manager.submit("a", observations[1])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SessionManager(queue_size=0)
+        with pytest.raises(ConfigurationError):
+            SessionManager(policy="spill")
+        with pytest.raises(ConfigurationError):
+            SessionManager(workers=-1)

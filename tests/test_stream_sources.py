@@ -1,0 +1,160 @@
+"""Observation sources: replay, synthetic live, JSONL tail."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, StreamError
+from repro.network import sample_sniffers_percentage
+from repro.stream import (
+    JsonlTailSource,
+    ObservationSource,
+    ReplaySource,
+    SyntheticLiveSource,
+    observation_to_jsonl,
+)
+from repro.traffic.measurement import FluxObservation
+from repro.util.persistence import save_observations
+
+
+def _observations(n=4, sniffer_count=5):
+    sniffers = np.arange(sniffer_count)
+    return [
+        FluxObservation(
+            time=float(t),
+            sniffers=sniffers,
+            values=np.linspace(0.5, 2.0, sniffer_count) + t,
+        )
+        for t in range(n)
+    ]
+
+
+class TestReplaySource:
+    def test_replays_in_order(self):
+        obs = _observations()
+        out = list(ReplaySource(obs))
+        assert [o.time for o in out] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_start_index_skips(self):
+        source = ReplaySource(_observations(), start_index=2)
+        assert len(source) == 2
+        assert [o.time for o in source] == [2.0, 3.0]
+
+    def test_start_index_beyond_end(self):
+        source = ReplaySource(_observations(), start_index=10)
+        assert len(source) == 0
+        assert list(source) == []
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplaySource(_observations(), start_index=-1)
+
+    def test_from_npz(self, tmp_path):
+        obs = _observations()
+        path = save_observations(obs, tmp_path / "log.npz")
+        source = ReplaySource.from_npz(path)
+        assert len(source) == len(obs)
+        loaded = list(source)
+        np.testing.assert_allclose(loaded[1].values, obs[1].values)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(ReplaySource([]), ObservationSource)
+
+
+class TestSyntheticLiveSource:
+    def test_yields_monotonic_windows(self, small_network):
+        sniffers = sample_sniffers_percentage(small_network, 20, rng=1)
+        source = SyntheticLiveSource(
+            small_network, sniffers, user_count=2, rounds=5, rng=2
+        )
+        obs = list(source)
+        assert len(obs) == 5
+        times = [o.time for o in obs]
+        assert times == sorted(times)
+        assert all(o.values.shape == sniffers.shape for o in obs)
+
+    def test_truth_recorded_per_window(self, small_network):
+        sniffers = sample_sniffers_percentage(small_network, 20, rng=1)
+        source = SyntheticLiveSource(
+            small_network, sniffers, user_count=3, rounds=4, rng=2
+        )
+        assert source.truth_at(0.0) is None  # not generated yet
+        first = next(iter(source))
+        truth = source.truth_at(first.time)
+        assert truth.shape == (3, 2)
+
+    def test_validation(self, small_network):
+        sniffers = sample_sniffers_percentage(small_network, 20, rng=1)
+        with pytest.raises(ConfigurationError):
+            SyntheticLiveSource(small_network, sniffers, user_count=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticLiveSource(small_network, sniffers, rounds=0)
+
+
+class TestJsonlTailSource:
+    def test_reads_existing_lines(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        obs = _observations(3)
+        path.write_text(
+            "\n".join(observation_to_jsonl(o) for o in obs) + "\n"
+        )
+        source = JsonlTailSource(path)
+        out = list(source)
+        assert [o.time for o in out] == [0.0, 1.0, 2.0]
+        assert source.parse_errors == 0
+
+    def test_malformed_lines_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        good = observation_to_jsonl(_observations(1)[0])
+        lines = [
+            good,
+            "this is not json",
+            '{"time": 1.0}',  # missing keys
+            '{"time": 2.0, "sniffers": [0, 1], "values": [1.0]}',  # arity
+            good,
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        source = JsonlTailSource(path)
+        out = list(source)
+        assert len(out) == 2
+        assert source.parse_errors == 3
+
+    def test_nan_values_roundtrip(self, tmp_path):
+        sniffers = np.arange(3)
+        obs = FluxObservation(
+            time=0.0, sniffers=sniffers,
+            values=np.array([1.0, np.nan, 3.0]),
+        )
+        path = tmp_path / "feed.jsonl"
+        path.write_text(observation_to_jsonl(obs) + "\n")
+        out = list(JsonlTailSource(path))
+        assert np.isnan(out[0].values[1])
+
+    def test_trailing_partial_line_salvaged(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text(observation_to_jsonl(_observations(1)[0]))  # no \n
+        out = list(JsonlTailSource(path))
+        assert len(out) == 1
+
+    def test_raw_values_roundtrip(self, tmp_path):
+        sniffers = np.arange(3)
+        obs = FluxObservation(
+            time=0.0,
+            sniffers=sniffers,
+            values=np.array([1.0, 2.0, 3.0]),
+            raw_values=np.array([1.5, 2.5, 3.5]),
+        )
+        path = tmp_path / "feed.jsonl"
+        path.write_text(observation_to_jsonl(obs) + "\n")
+        out = list(JsonlTailSource(path))
+        np.testing.assert_allclose(out[0].raw_values, [1.5, 2.5, 3.5])
+
+    def test_missing_file_raises_stream_error(self, tmp_path):
+        source = JsonlTailSource(tmp_path / "absent.jsonl")
+        with pytest.raises(StreamError):
+            list(source)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            JsonlTailSource(tmp_path / "x", poll_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            JsonlTailSource(tmp_path / "x", idle_timeout=-1.0)
