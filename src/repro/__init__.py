@@ -62,6 +62,12 @@ from repro.fingerprint import (
     NLSLocalizer,
     brief_flux_map,
 )
+from repro.fpmap import (
+    FingerprintMap,
+    MapRegistry,
+    SpatialIndex,
+    build_fingerprint_map,
+)
 from repro.smc import (
     SequentialMonteCarloTracker,
     TrackerConfig,
@@ -113,6 +119,10 @@ __all__ = [
     "LocalizationResult",
     "CompositionFit",
     "brief_flux_map",
+    "FingerprintMap",
+    "MapRegistry",
+    "SpatialIndex",
+    "build_fingerprint_map",
     "SequentialMonteCarloTracker",
     "TrackerConfig",
     "TrackerStep",

@@ -66,29 +66,86 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_build_map(args) -> int:
+    from repro.fpmap import build_fingerprint_map
+
+    gen = as_generator(args.seed)
+    net = _network_from(args)
+    sniffers = sample_sniffers_percentage(net, args.percentage, rng=gen)
+    fmap = build_fingerprint_map(
+        net.field,
+        net.positions[sniffers],
+        resolution=args.resolution,
+        d_floor=args.d_floor,
+        sniffer_ids=sniffers,
+    )
+    path = fmap.save(args.output)
+    cols, rows = fmap.grid_shape()
+    print(
+        f"map: {fmap.cell_count} cells (~{cols}x{rows} at resolution "
+        f"{fmap.resolution:g}), {fmap.sniffer_count} sniffers, deployment "
+        f"{fmap.deployment[:12]}"
+    )
+    print(f"wrote {path}")
+    return 0
+
+
 def cmd_localize(args) -> int:
+    from repro.errors import ConfigurationError
     from repro.fingerprint import NLSLocalizer
 
     gen = as_generator(args.seed)
     net = _network_from(args)
     truth, stretches = _place_users(net, args.users, gen)
     flux = simulate_flux(net, list(truth), list(stretches), rng=gen)
-    sniffers = sample_sniffers_percentage(net, args.percentage, rng=gen)
+
+    fmap = None
+    if args.map:
+        from repro.fpmap import FingerprintMap
+
+        try:
+            fmap = FingerprintMap.load(args.map)
+        except ConfigurationError as exc:
+            print(f"cannot use map {args.map}: {exc}", file=sys.stderr)
+            return 1
+        # The map's stored sniffer set *is* the deployment it fingerprints;
+        # --percentage would sample a different set and fail validation.
+        sniffers = np.asarray(fmap.sniffer_ids, dtype=np.int64)
+        if sniffers.size and sniffers.max() >= net.node_count:
+            print(
+                f"cannot use map {args.map}: sniffer ids exceed the "
+                f"{net.node_count}-node network (different deployment args?)",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        sniffers = sample_sniffers_percentage(net, args.percentage, rng=gen)
     obs = MeasurementModel(net, sniffers, smooth=True, rng=gen).observe(flux)
 
-    localizer = NLSLocalizer(net.field, net.positions[sniffers])
-    result = localizer.localize(
-        obs,
-        user_count=args.users,
-        candidate_count=args.candidates,
-        restarts=args.restarts,
-        rng=gen,
+    localizer = NLSLocalizer(
+        net.field,
+        net.positions[sniffers],
+        d_floor=fmap.d_floor if fmap is not None else 1.0,
     )
+    try:
+        result = localizer.localize(
+            obs,
+            user_count=args.users,
+            candidate_count=args.candidates,
+            restarts=args.restarts,
+            rng=gen,
+            fingerprint_map=fmap,
+            seed_top_k=args.seed_top_k if args.map else 32,
+        )
+    except ConfigurationError as exc:
+        print(f"cannot use map {args.map}: {exc}", file=sys.stderr)
+        return 1
     estimates = result.position_estimates()
     errors = result.errors_to(truth)
+    tag = f" (map-seeded from {args.map})" if fmap is not None else ""
     print(
-        f"sniffed {sniffers.size}/{net.node_count} nodes "
-        f"({args.percentage:g}%); objective {result.best.objective:.2f}"
+        f"sniffed {sniffers.size}/{net.node_count} nodes; "
+        f"objective {result.best.objective:.2f}{tag}"
     )
     for i in range(args.users):
         print(
@@ -161,7 +218,7 @@ def cmd_track(args) -> int:
 def cmd_track_stream(args) -> int:
     from itertools import chain
 
-    from repro.errors import StreamError
+    from repro.errors import ConfigurationError, StreamError
     from repro.smc import SequentialMonteCarloTracker, TrackerConfig
     from repro.stream import (
         JsonlTailSource,
@@ -178,6 +235,16 @@ def cmd_track_stream(args) -> int:
     gen = as_generator(args.seed)
     net = load_network(args.network) if args.network else _network_from(args)
     truth = None
+
+    fmap = None
+    if args.map:
+        from repro.fpmap import FingerprintMap
+
+        try:
+            fmap = FingerprintMap.load(args.map)
+        except ConfigurationError as exc:
+            print(f"cannot use map {args.map}: {exc}", file=sys.stderr)
+            return 1
 
     if args.input:
         source = ReplaySource.from_npz(args.input)
@@ -196,7 +263,14 @@ def cmd_track_stream(args) -> int:
         source = chain([first], iterator)
         sniffer_idx = first.sniffers
     else:
-        sniffer_idx = sample_sniffers_percentage(net, args.percentage, rng=gen)
+        if fmap is not None and int(fmap.sniffer_ids.max()) < net.node_count:
+            # Synthesize on the map's own sniffer set: the map *is* the
+            # deployment contract, --percentage only applies without one.
+            sniffer_idx = np.asarray(fmap.sniffer_ids, dtype=np.int64)
+        else:
+            sniffer_idx = sample_sniffers_percentage(
+                net, args.percentage, rng=gen
+            )
         live = SyntheticLiveSource(
             net,
             sniffer_idx,
@@ -219,20 +293,29 @@ def cmd_track_stream(args) -> int:
                 prediction_count=args.predictions,
                 keep_count=args.keep,
                 max_speed=args.max_speed,
+                reseed_after_misses=args.reseed_after_misses,
             ),
             rng=gen,
+            fingerprint_map=fmap,
         )
         return TrackingSession("cli", tracker, truth=truth)
 
-    if args.checkpoint:
-        session = resume_or_create(args.checkpoint, make_session, truth=truth)
-        if session.windows_consumed:
-            print(
-                f"resumed from {args.checkpoint} at window "
-                f"{session.windows_consumed}"
+    try:
+        if args.checkpoint:
+            session = resume_or_create(
+                args.checkpoint, make_session, truth=truth, fingerprint_map=fmap
             )
-    else:
-        session = make_session()
+            if session.windows_consumed:
+                print(
+                    f"resumed from {args.checkpoint} at window "
+                    f"{session.windows_consumed}"
+                )
+        else:
+            session = make_session()
+    except ConfigurationError as exc:
+        what = f"cannot use map {args.map}" if args.map else "bad configuration"
+        print(f"{what}: {exc}", file=sys.stderr)
+        return 1
 
     def on_step(sess, step):
         if step is None:

@@ -47,7 +47,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--candidates", type=int, default=3000)
     p.add_argument("--restarts", type=int, default=3)
+    p.add_argument(
+        "--map",
+        default=None,
+        help="seed the search from this fingerprint map (repro build-map "
+        "output; its stored sniffer set replaces --percentage)",
+    )
+    p.add_argument(
+        "--seed-top-k",
+        type=int,
+        default=32,
+        help="map matches seeded per user (with --map)",
+    )
     p.set_defaults(handler=commands.cmd_localize)
+
+    p = sub.add_parser(
+        "build-map",
+        help="precompute the flux-fingerprint map of a deployment (offline "
+        "survey stage; reuse it with 'localize --map' / 'track-stream --map')",
+    )
+    _network_args(p)
+    p.add_argument(
+        "--percentage", type=float, default=10.0, help="%% of nodes sniffed"
+    )
+    p.add_argument(
+        "--resolution", type=float, default=1.0, help="grid cell spacing"
+    )
+    p.add_argument(
+        "--d-floor", type=float, default=1.0, help="flux-model near-sink clamp"
+    )
+    p.add_argument("--output", required=True, help="write the .npz map here")
+    p.set_defaults(handler=commands.cmd_build_map)
 
     p = sub.add_parser("track", help="run the SMC tracker over moving users")
     _network_args(p)
@@ -117,6 +147,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--metrics-out", default=None, help="write final metrics JSON here"
+    )
+    p.add_argument(
+        "--map",
+        default=None,
+        help="attach this fingerprint map for degenerate-sample recovery",
+    )
+    p.add_argument(
+        "--reseed-after-misses",
+        type=int,
+        default=0,
+        help="map-reseed a user after this many consecutive missed "
+        "flux-bearing windows (0 = only on weight underflow; needs --map)",
     )
     p.set_defaults(handler=commands.cmd_track_stream)
 

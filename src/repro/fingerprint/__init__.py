@@ -8,6 +8,7 @@ so the search is sampling-based; the integrated stretch factors
 """
 
 from repro.fingerprint.objective import (
+    EvalWorkspace,
     FluxObjective,
     solve_thetas,
     solve_thetas_batched,
@@ -17,6 +18,7 @@ from repro.fingerprint.candidates import (
     UniformCandidates,
     GridCandidates,
     DiscCandidates,
+    MapSeededCandidates,
 )
 from repro.fingerprint.results import CompositionFit, LocalizationResult
 from repro.fingerprint.nls import NLSLocalizer
@@ -24,6 +26,7 @@ from repro.fingerprint.briefing import BriefingResult, brief_flux_map
 from repro.fingerprint.usercount import UserCountEstimate, estimate_user_count
 
 __all__ = [
+    "EvalWorkspace",
     "FluxObjective",
     "solve_thetas",
     "solve_thetas_batched",
@@ -31,6 +34,7 @@ __all__ = [
     "UniformCandidates",
     "GridCandidates",
     "DiscCandidates",
+    "MapSeededCandidates",
     "CompositionFit",
     "LocalizationResult",
     "NLSLocalizer",

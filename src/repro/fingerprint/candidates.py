@@ -61,7 +61,14 @@ class GridCandidates(CandidateGenerator):
         xs = np.linspace(xmin, xmax, side + 2)[1:-1]
         ys = np.linspace(ymin, ymax, side + 2)[1:-1]
         gx, gy = np.meshgrid(xs, ys)
-        pts = np.column_stack([gx.ravel(), gy.ravel()])[:count]
+        pts = np.column_stack([gx.ravel(), gy.ravel()])
+        if pts.shape[0] > count:
+            # Never hand back more candidates than budgeted, and spread
+            # the truncation over the whole grid: dropping the trailing
+            # rows of the row-major layout would leave the top band of
+            # the field uncovered.
+            sel = (np.arange(count, dtype=np.int64) * pts.shape[0]) // count
+            pts = pts[sel]
         if self.jitter > 0:
             pts = pts + rng.uniform(-self.jitter, self.jitter, size=pts.shape)
             pts = self.field.clip(pts)
@@ -105,3 +112,103 @@ class DiscCandidates(CandidateGenerator):
             [radii * np.cos(angles), radii * np.sin(angles)]
         )
         return self.field.clip(pts)
+
+
+class MapSeededCandidates(CandidateGenerator):
+    """Fingerprint-map seeds followed by local disc refinement.
+
+    The classic fingerprinting online stage: the first
+    ``seed_positions`` candidates are the top-k map-match cells for the
+    observation (best match first), and the remaining budget is spent
+    on uniform-disc samples around those seeds — the same local
+    proposal as :class:`DiscCandidates` — so the NLS search starts in
+    the right basin and refines below the map's grid resolution. An
+    ``explore_fraction`` of the refinement budget is diverted to
+    uniform field-wide draws: signature matching occasionally picks the
+    wrong basin (symmetric deployments, peeling residue), and a purely
+    local pool could never escape it. Build one per user from a
+    :class:`repro.fpmap.FingerprintMap` match (see :meth:`from_match`),
+    or directly from any seed set.
+
+    Attributes
+    ----------
+    seed_indices:
+        Optional map cell ids of the seeds (best first); consumers use
+        them to fetch precomputed kernels from the map's LRU block
+        cache instead of re-deriving them.
+    """
+
+    def __init__(
+        self,
+        field: Field,
+        seed_positions: np.ndarray,
+        refine_radius: float,
+        seed_indices: Optional[np.ndarray] = None,
+        explore_fraction: float = 0.25,
+    ):
+        self.field = field
+        seed_positions = np.asarray(seed_positions, dtype=float)
+        if seed_positions.ndim != 2 or seed_positions.shape[1] != 2:
+            raise ConfigurationError(
+                f"seed_positions must be (k, 2), got {seed_positions.shape}"
+            )
+        if seed_positions.shape[0] == 0:
+            raise ConfigurationError("need at least one seed position")
+        self.seed_positions = seed_positions
+        self.refine_radius = check_positive("refine_radius", refine_radius)
+        self.seed_indices = (
+            None
+            if seed_indices is None
+            else np.asarray(seed_indices, dtype=np.int64)
+        )
+        if (
+            self.seed_indices is not None
+            and self.seed_indices.shape != (seed_positions.shape[0],)
+        ):
+            raise ConfigurationError(
+                f"seed_indices {self.seed_indices.shape} must match "
+                f"seed_positions {seed_positions.shape}"
+            )
+        if not 0.0 <= explore_fraction < 1.0:
+            raise ConfigurationError(
+                f"explore_fraction must be in [0, 1), got {explore_fraction}"
+            )
+        self.explore_fraction = float(explore_fraction)
+        self._refiner = DiscCandidates(field, seed_positions, refine_radius)
+        self._explorer = UniformCandidates(field)
+
+    @classmethod
+    def from_match(
+        cls,
+        field: Field,
+        match,
+        refine_radius: float,
+        explore_fraction: float = 0.25,
+    ):
+        """Build from a :class:`repro.fpmap.MapMatch` (best cell first)."""
+        return cls(
+            field,
+            match.positions,
+            refine_radius,
+            seed_indices=match.indices,
+            explore_fraction=explore_fraction,
+        )
+
+    def seed_count(self, count: int) -> int:
+        """How many of ``count`` generated candidates are literal seeds."""
+        return min(self.seed_positions.shape[0], count)
+
+    def generate(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count <= 0:
+            raise ConfigurationError(f"count must be > 0, got {count}")
+        k = self.seed_count(count)
+        seeds = self.seed_positions[:k]
+        if count == k:
+            return seeds.copy()
+        explore = int((count - k) * self.explore_fraction)
+        parts = [seeds]
+        if count - k - explore > 0:
+            parts.append(self._refiner.generate(count - k - explore, rng))
+        if explore > 0:
+            parts.append(self._explorer.generate(explore, rng))
+        return np.concatenate(parts, axis=0)

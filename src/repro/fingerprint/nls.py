@@ -24,8 +24,16 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, FittingError
-from repro.fingerprint.candidates import CandidateGenerator, UniformCandidates
-from repro.fingerprint.objective import FluxObjective, solve_thetas_batched
+from repro.fingerprint.candidates import (
+    CandidateGenerator,
+    MapSeededCandidates,
+    UniformCandidates,
+)
+from repro.fingerprint.objective import (
+    EvalWorkspace,
+    FluxObjective,
+    solve_thetas_batched,
+)
 from repro.fingerprint.results import CompositionFit, LocalizationResult
 from repro.fluxmodel.discrete import DiscreteFluxModel
 from repro.geometry.field import Field
@@ -68,6 +76,7 @@ def coordinate_descent(
     sweeps: int = 4,
     tol: float = 1e-9,
     init_indices: Optional[np.ndarray] = None,
+    pool_kernels: Optional[Sequence[Optional[np.ndarray]]] = None,
 ) -> SweepOutcome:
     """Coordinate-descent composition search over per-user candidate pools.
 
@@ -82,12 +91,40 @@ def coordinate_descent(
     init_indices:
         Optional per-user starting candidate indices; greedy residual
         peeling is used when omitted.
+    pool_kernels:
+        Optional per-user precomputed ``(N_j, n)`` geometry kernels
+        over the objective's sniffer set (``None`` entries are
+        computed here). Map-seeded search passes the fingerprint map's
+        cached kernels so candidates at map cells cost nothing.
     """
     if not pools:
         raise ConfigurationError("need at least one candidate pool")
     gen = as_generator(rng)
     K = len(pools)
-    kernels = [objective.model.geometry_kernels(np.asarray(p, float)) for p in pools]
+    if pool_kernels is None:
+        pool_kernels = [None] * K
+    elif len(pool_kernels) != K:
+        raise ConfigurationError(
+            f"pool_kernels has {len(pool_kernels)} entries for {K} pools"
+        )
+    # Weight each pool's kernels once up front; every sweep below then
+    # evaluates preweighted (no per-call reweighting churn), with one
+    # scratch workspace per pool so stacked-kernel and solver buffers
+    # are reused across sweeps.
+    kernels = []
+    for p, pre in zip(pools, pool_kernels):
+        raw = (
+            objective.model.geometry_kernels(np.asarray(p, float))
+            if pre is None
+            else np.asarray(pre, dtype=float)
+        )
+        if raw.shape != (np.asarray(p).shape[0], objective.sniffer_count):
+            raise ConfigurationError(
+                f"pool kernels {raw.shape} do not match pool size "
+                f"{np.asarray(p).shape[0]} x {objective.sniffer_count} sniffers"
+            )
+        kernels.append(objective._weight_kernels(raw))
+    workspaces = [EvalWorkspace() for _ in range(K)]
     for j, kern in enumerate(kernels):
         if kern.shape[0] == 0:
             raise ConfigurationError(f"user {j} has an empty candidate pool")
@@ -110,7 +147,9 @@ def coordinate_descent(
         fixed_stack: List[np.ndarray] = []
         for j in order:
             fixed = np.asarray(fixed_stack) if fixed_stack else None
-            _, objs = objective.evaluate_batch(kernels[j], fixed)
+            _, objs = objective.evaluate_batch(
+                kernels[j], fixed, workspace=workspaces[j], preweighted=True
+            )
             best = int(np.argmin(objs))
             incumbents[j] = best
             chosen.append(best)
@@ -134,7 +173,9 @@ def coordinate_descent(
                 if others
                 else None
             )
-            thetas, objs = objective.evaluate_batch(kernels[j], fixed)
+            thetas, objs = objective.evaluate_batch(
+                kernels[j], fixed, workspace=workspaces[j], preweighted=True
+            )
             per_user_objectives[j] = objs
             per_user_thetas[j] = thetas[:, 0]
             best = int(np.argmin(objs))
@@ -157,7 +198,9 @@ def coordinate_descent(
         fixed = (
             np.stack([kernels[k][incumbents[k]] for k in others]) if others else None
         )
-        thetas, objs = objective.evaluate_batch(kernels[j], fixed)
+        thetas, objs = objective.evaluate_batch(
+            kernels[j], fixed, workspace=workspaces[j], preweighted=True
+        )
         per_user_objectives[j] = objs
         per_user_thetas[j] = thetas[:, 0]
 
@@ -390,6 +433,8 @@ class NLSLocalizer:
         sweeps: int = 4,
         generator: Optional[CandidateGenerator] = None,
         rng: RandomState = None,
+        fingerprint_map=None,
+        seed_top_k: int = 32,
     ) -> LocalizationResult:
         """Estimate the positions of ``user_count`` users.
 
@@ -398,6 +443,21 @@ class NLSLocalizer:
         ``theta -> 0``. Each restart draws fresh candidate pools; the
         top-``top_m`` distinct compositions across all restarts are
         returned (Fig. 5 keeps the top 10).
+
+        Parameters
+        ----------
+        fingerprint_map:
+            Optional :class:`repro.fpmap.FingerprintMap` built for this
+            localizer's deployment. When given, each user's pool is
+            seeded with the top-``seed_top_k`` map matches (greedy
+            residual peeling across users) plus local disc refinement
+            around them, instead of ``generator``'s uniform draws — the
+            same accuracy is reached at a fraction of the candidate
+            budget. The seeds' kernels come from the map's cache, so
+            they are never recomputed.
+        seed_top_k:
+            Map matches seeding each user's pool (capped by
+            ``candidate_count``).
         """
         if user_count < 1:
             raise ConfigurationError(f"user_count must be >= 1, got {user_count}")
@@ -412,14 +472,59 @@ class NLSLocalizer:
             generator = UniformCandidates(self.field)
         objective = self.objective_for(observation)
 
+        seed_generators: Optional[List[MapSeededCandidates]] = None
+        seed_columns: Optional[np.ndarray] = None
+        if fingerprint_map is not None:
+            if seed_top_k < 1:
+                raise ConfigurationError(
+                    f"seed_top_k must be >= 1, got {seed_top_k}"
+                )
+            fingerprint_map.validate_against(
+                self.field, self.model.node_positions, self.model.d_floor
+            )
+            values = np.asarray(observation.values, dtype=float)
+            good = np.isfinite(values)
+            if not np.all(good):
+                # The objective's model is restricted to the surviving
+                # sniffers; map kernel slices must use the same columns.
+                seed_columns = np.flatnonzero(good)
+            matches = fingerprint_map.peel_matches(
+                values, user_count, k=min(seed_top_k, candidate_count)
+            )
+            refine = 2.0 * fingerprint_map.resolution
+            seed_generators = [
+                MapSeededCandidates.from_match(self.field, match, refine)
+                for match in matches
+            ]
+
         heap: List[Tuple[float, int, np.ndarray, np.ndarray]] = []
         counter = 0
         for _ in range(max(1, restarts)):
-            pools = [
-                generator.generate(candidate_count, gen) for _ in range(user_count)
-            ]
+            if seed_generators is None:
+                pools = [
+                    generator.generate(candidate_count, gen)
+                    for _ in range(user_count)
+                ]
+                pool_kernels = None
+            else:
+                pools = []
+                pool_kernels = []
+                for seeded in seed_generators:
+                    pool = seeded.generate(candidate_count, gen)
+                    k = seeded.seed_count(candidate_count)
+                    seed_kernels = fingerprint_map.kernels_for(
+                        seeded.seed_indices[:k], columns=seed_columns
+                    )
+                    if pool.shape[0] > k:
+                        rest = objective.model.geometry_kernels(pool[k:])
+                        kernels = np.concatenate([seed_kernels, rest], axis=0)
+                    else:
+                        kernels = np.asarray(seed_kernels)
+                    pools.append(pool)
+                    pool_kernels.append(kernels)
             outcome = coordinate_descent(
-                objective, pools, rng=gen, sweeps=sweeps
+                objective, pools, rng=gen, sweeps=sweeps,
+                pool_kernels=pool_kernels,
             )
             # Harvest compositions: the incumbent plus, for each user,
             # its next-best alternatives against the incumbents.

@@ -26,6 +26,31 @@ from repro.traffic.measurement import FluxObservation
 _RIDGE = 1e-10
 
 
+class EvalWorkspace:
+    """Reusable scratch buffers for repeated batched evaluations.
+
+    The coordinate-descent search calls :meth:`FluxObjective.
+    evaluate_batch` with the same ``(N, K, n)`` shape every sweep;
+    without reuse each call allocates the stacked-kernel tensor, the
+    normal-equation matrices, and the prediction buffer anew
+    (profile-visible churn). A workspace keyed by (name, shape) keeps
+    one buffer per role alive across calls. Output arrays handed back
+    to the caller (thetas, objectives) are always freshly allocated —
+    only internal scratch is reused, so returned arrays stay valid
+    across subsequent calls.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict = {}
+
+    def buffer(self, name: str, shape: Tuple[int, ...]) -> np.ndarray:
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != shape:
+            buf = np.empty(shape, dtype=float)
+            self._buffers[name] = buf
+        return buf
+
+
 def solve_thetas(kernels: np.ndarray, target: np.ndarray) -> Tuple[np.ndarray, float]:
     """Non-negative LS for one composition.
 
@@ -53,7 +78,9 @@ def solve_thetas(kernels: np.ndarray, target: np.ndarray) -> Tuple[np.ndarray, f
 
 
 def solve_thetas_batched(
-    kernel_stacks: np.ndarray, target: np.ndarray
+    kernel_stacks: np.ndarray,
+    target: np.ndarray,
+    workspace: Optional[EvalWorkspace] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Non-negative LS for a batch of compositions.
 
@@ -64,10 +91,15 @@ def solve_thetas_batched(
         sniffers.
     target:
         ``(n,)`` observed flux.
+    workspace:
+        Optional scratch-buffer pool; pass one per repeated call site
+        to avoid reallocating the normal-equation and prediction
+        buffers every sweep.
 
     Returns
     -------
-    ``(thetas, objectives)`` with shapes ``(B, K)`` and ``(B,)``.
+    ``(thetas, objectives)`` with shapes ``(B, K)`` and ``(B,)`` —
+    always freshly allocated (safe to retain across calls).
 
     Strategy: batched unconstrained normal equations (one
     ``np.linalg.solve`` over stacked K x K systems); compositions whose
@@ -84,11 +116,16 @@ def solve_thetas_batched(
         raise ConfigurationError(
             f"target must have shape ({n},), got {target.shape}"
         )
+    ws = workspace if workspace is not None else EvalWorkspace()
 
     # Normal equations: A = G G^T (B, K, K), b = G F' (B, K).
-    A = kernel_stacks @ kernel_stacks.transpose(0, 2, 1)
-    A = A + _RIDGE * np.eye(K)[None, :, :]
-    b = kernel_stacks @ target
+    A = np.matmul(
+        kernel_stacks,
+        kernel_stacks.transpose(0, 2, 1),
+        out=ws.buffer("normal", (B, K, K)),
+    )
+    A += _RIDGE * np.eye(K)[None, :, :]
+    b = np.matmul(kernel_stacks, target, out=ws.buffer("rhs", (B, K)))
     try:
         thetas = np.linalg.solve(A, b[..., None])[..., 0]
     except np.linalg.LinAlgError:
@@ -101,8 +138,11 @@ def solve_thetas_batched(
         for idx in np.flatnonzero(negative):
             thetas[idx], _ = nnls(kernel_stacks[idx].T, target)
 
-    predicted = np.einsum("bk,bkn->bn", thetas, kernel_stacks)
-    objectives = np.linalg.norm(predicted - target[None, :], axis=1)
+    predicted = np.einsum(
+        "bk,bkn->bn", thetas, kernel_stacks, out=ws.buffer("predicted", (B, n))
+    )
+    predicted -= target[None, :]
+    objectives = np.linalg.norm(predicted, axis=1)
     return thetas, objectives
 
 
@@ -204,6 +244,8 @@ class FluxObjective:
         self,
         candidate_kernels: np.ndarray,
         fixed_kernels: Optional[np.ndarray] = None,
+        workspace: Optional[EvalWorkspace] = None,
+        preweighted: bool = False,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Evaluate many single-user candidates against fixed co-users.
 
@@ -215,25 +257,39 @@ class FluxObjective:
         fixed_kernels:
             ``(K-1, n)`` kernels of the other users' incumbent
             positions, or ``None`` for the single-user case.
+        workspace:
+            Optional scratch-buffer pool reused across sweeps; callers
+            evaluating the same pool repeatedly (coordinate descent)
+            pass one per pool so the stacked-kernel tensor and solver
+            scratch are allocated once instead of per call.
+        preweighted:
+            The kernels were already passed through per-sniffer
+            weighting (:meth:`_weight_kernels`); skip re-weighting.
+            Lets sweep loops weight each candidate pool once up front.
 
         Returns
         -------
         ``(thetas, objectives)`` of shapes ``(N, K)`` and ``(N,)``
         where the *first* theta column corresponds to the swept user.
+        Both are freshly allocated on every call.
         """
         candidate_kernels = np.asarray(candidate_kernels, dtype=float)
         if candidate_kernels.ndim != 2:
             raise ConfigurationError(
                 f"candidate_kernels must be (N, n), got {candidate_kernels.shape}"
             )
-        candidate_kernels = self._weight_kernels(candidate_kernels)
-        N = candidate_kernels.shape[0]
-        if fixed_kernels is None or fixed_kernels.shape[0] == 0:
+        ws = workspace if workspace is not None else EvalWorkspace()
+        if not preweighted:
+            candidate_kernels = self._weight_kernels(candidate_kernels)
+        N, n = candidate_kernels.shape
+        fixed_count = 0 if fixed_kernels is None else fixed_kernels.shape[0]
+        if fixed_count == 0:
             stacks = candidate_kernels[:, None, :]
         else:
-            fixed = self._weight_kernels(np.asarray(fixed_kernels, dtype=float))
-            fixed = np.broadcast_to(
-                fixed[None, :, :], (N, fixed.shape[0], fixed.shape[1])
-            )
-            stacks = np.concatenate([candidate_kernels[:, None, :], fixed], axis=1)
-        return solve_thetas_batched(stacks, self._weighted_target)
+            fixed = np.asarray(fixed_kernels, dtype=float)
+            if not preweighted:
+                fixed = self._weight_kernels(fixed)
+            stacks = ws.buffer("stacks", (N, 1 + fixed_count, n))
+            stacks[:, 0, :] = candidate_kernels
+            stacks[:, 1:, :] = fixed[None, :, :]
+        return solve_thetas_batched(stacks, self._weighted_target, workspace=ws)

@@ -1,0 +1,77 @@
+"""Bounded LRU cache for kernel blocks.
+
+The fingerprint map stores one full-width geometry kernel per grid
+cell. Online consumers rarely need the full width: NaN sniffer dropout
+restricts the :class:`~repro.fingerprint.objective.FluxObjective` to
+the surviving columns, and seeded search touches the same few hundred
+top-match cells round after round. Slicing those (cells x columns)
+blocks out of the signature matrix on every evaluation is
+profile-visible churn; this cache keeps the recently used blocks alive
+so repeated evaluations at map cells cost a dict lookup.
+
+Keys are opaque (bytes/tuples built by the caller); values are numpy
+arrays handed out read-only so a shared cache can serve many sessions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class KernelLRUCache:
+    """Least-recently-used cache of ndarray blocks.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of blocks retained; the least recently *used*
+        (get or put) block is evicted first.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._blocks: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        """Return the cached block (marking it fresh) or ``None``."""
+        block = self._blocks.get(key)
+        if block is None:
+            self.misses += 1
+            return None
+        self._blocks.move_to_end(key)
+        self.hits += 1
+        return block
+
+    def put(self, key: Hashable, block: np.ndarray) -> np.ndarray:
+        """Insert a block, evicting the stalest entry when full.
+
+        The stored array is frozen (``writeable=False``) so cached
+        blocks cannot be corrupted by one consumer under another.
+        """
+        block = np.asarray(block)
+        block.setflags(write=False)
+        self._blocks[key] = block
+        self._blocks.move_to_end(key)
+        while len(self._blocks) > self.capacity:
+            self._blocks.popitem(last=False)
+        return block
+
+    def clear(self) -> None:
+        self._blocks.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -69,6 +69,13 @@ class TrackerConfig:
         Scale the per-round prediction count to the posterior spread
         and prediction radius (:mod:`repro.smc.adaptive`);
         ``prediction_count`` becomes the upper bound.
+    reseed_after_misses:
+        Fingerprint-map recovery (requires a map attached to the
+        tracker): a user inactive for this many consecutive flux-
+        bearing windows has a degenerate sample set — its cloud no
+        longer covers the user — and is re-seeded from the map's top
+        signature matches instead of waiting for the prediction disc
+        to swallow the whole field. ``0`` disables the trigger.
     """
 
     prediction_count: int = 1000
@@ -81,6 +88,7 @@ class TrackerConfig:
     likelihood_epsilon: float = 1e-9
     resampling: str = "multinomial"
     adaptive_predictions: bool = False
+    reseed_after_misses: int = 0
 
     def __post_init__(self) -> None:
         if self.resampling not in ("multinomial", "systematic", "residual"):
@@ -101,6 +109,10 @@ class TrackerConfig:
         if self.sweeps < 1:
             raise ConfigurationError("sweeps must be >= 1")
         check_positive("likelihood_epsilon", self.likelihood_epsilon)
+        if self.reseed_after_misses < 0:
+            raise ConfigurationError(
+                f"reseed_after_misses must be >= 0, got {self.reseed_after_misses}"
+            )
 
 
 @dataclass
@@ -121,6 +133,11 @@ class TrackerStep:
         (NaN when every user was inactive).
     sample_sets:
         Snapshot of each user's current samples.
+    reseeded:
+        ``(K,)`` booleans: whether each user's sample set was replaced
+        by fingerprint-map matches this round (degenerate weights or
+        the consecutive-miss threshold). All-False when no map is
+        attached.
     """
 
     time: float
@@ -128,6 +145,7 @@ class TrackerStep:
     active: np.ndarray
     objective: float
     sample_sets: List[UserSamples]
+    reseeded: Optional[np.ndarray] = None
 
 
 class SequentialMonteCarloTracker:
@@ -147,6 +165,10 @@ class SequentialMonteCarloTracker:
         Algorithm knobs; defaults follow the paper.
     start_time:
         Initialization time ``t_last = 0`` of Algorithm 4.1.
+    fingerprint_map:
+        Optional :class:`repro.fpmap.FingerprintMap` built for this
+        exact deployment; enables the degenerate-sample recovery path
+        (see :meth:`attach_map`). Validated on attach.
     """
 
     def __init__(
@@ -157,6 +179,7 @@ class SequentialMonteCarloTracker:
         config: Optional[TrackerConfig] = None,
         start_time: float = 0.0,
         rng: RandomState = None,
+        fingerprint_map=None,
     ):
         if user_count < 1:
             raise ConfigurationError(f"user_count must be >= 1, got {user_count}")
@@ -176,6 +199,27 @@ class SequentialMonteCarloTracker:
             for _ in range(user_count)
         ]
         self.history: List[TrackerStep] = []
+        # Consecutive flux-bearing windows each user sat out; drives the
+        # map-reseed trigger. Silent (zero-flux) windows don't count.
+        self.miss_counts = np.zeros(user_count, dtype=np.int64)
+        self.fingerprint_map = None
+        if fingerprint_map is not None:
+            self.attach_map(fingerprint_map)
+
+    # ------------------------------------------------------------------
+    def attach_map(self, fingerprint_map) -> None:
+        """Attach (or with ``None`` detach) a fingerprint map.
+
+        The map must have been built for *this* deployment — same
+        field, same sniffer positions, same ``d_floor`` — or a
+        :class:`~repro.errors.ConfigurationError` is raised; a map of a
+        stale sniffer set would reseed users onto wrong signatures.
+        """
+        if fingerprint_map is not None:
+            fingerprint_map.validate_against(
+                self.field, self.model.node_positions, self.config.d_floor
+            )
+        self.fingerprint_map = fingerprint_map
 
     # ------------------------------------------------------------------
     def step(self, observation: FluxObservation) -> TrackerStep:
@@ -245,12 +289,33 @@ class SequentialMonteCarloTracker:
             objective, incumbent_kernels, min_improvement=cfg.activity_tolerance
         )
         active = np.zeros(self.user_count, dtype=bool)
+        reseeded = np.zeros(self.user_count, dtype=bool)
         for user in range(self.user_count):
             if not active_mask[user] or pruned_thetas[user] <= cfg.theta_floor:
                 continue  # user silent this round
             active[user] = True
             objs = outcome.per_user_objectives[user]
             keep = np.argsort(objs)[: cfg.keep_count]
+            if self.fingerprint_map is not None:
+                # Recovery trigger (a): the raw importance mass
+                # underflowed — every surviving sample descends from
+                # zero-weight parents or has an unusable likelihood, so
+                # Formula 4.3 would renormalize noise. Restart the
+                # user's posterior from the map instead.
+                likelihood = 1.0 / (objs[keep] + cfg.likelihood_epsilon)
+                raw_mass = float(
+                    np.sum(
+                        self.samples[user].weights[parent_idx[user][keep]]
+                        * likelihood
+                    )
+                )
+                if raw_mass <= 0.0 or not np.isfinite(raw_mass):
+                    self.samples[user] = self._reseed_from_map(
+                        observation.values, t
+                    )
+                    reseeded[user] = True
+                    self.miss_counts[user] = 0
+                    continue
             weights = importance_weights(
                 self.samples[user].weights,
                 parent_idx[user][keep],
@@ -263,6 +328,28 @@ class SequentialMonteCarloTracker:
                 t_last=t,
             )
 
+        # Recovery trigger (b): a user who sat out too many consecutive
+        # flux-bearing windows has drifted out of its own sample cloud;
+        # its growing prediction disc eventually covers the whole field,
+        # which is just expensive uniform re-initialization. Reseeding
+        # from the map's signature matches restarts it where the
+        # evidence points.
+        for user in range(self.user_count):
+            if active[user] or reseeded[user]:
+                self.miss_counts[user] = 0
+                continue
+            self.miss_counts[user] += 1
+            if (
+                self.fingerprint_map is not None
+                and cfg.reseed_after_misses > 0
+                and self.miss_counts[user] >= cfg.reseed_after_misses
+            ):
+                self.samples[user] = self._reseed_from_map(
+                    observation.values, t
+                )
+                reseeded[user] = True
+                self.miss_counts[user] = 0
+
         estimates = np.stack([s.estimate() for s in self.samples])
         step = TrackerStep(
             time=t,
@@ -270,9 +357,30 @@ class SequentialMonteCarloTracker:
             active=active,
             objective=float(outcome.best_objective),
             sample_sets=[s for s in self.samples],
+            reseeded=reseeded,
         )
         self.history.append(step)
         return step
+
+    def _reseed_from_map(self, values: np.ndarray, t: float) -> UserSamples:
+        """Replace a degenerate sample set with top map matches.
+
+        The new samples are the ``keep_count`` best-matching cells for
+        the window's flux vector, weighted by reciprocal match residual
+        (the same likelihood proxy as Formula 4.3), with ``t_last``
+        reset so the next prediction disc is local again.
+        """
+        fmap = self.fingerprint_map
+        match = fmap.match(
+            np.asarray(values, dtype=float),
+            k=min(self.config.keep_count, fmap.cell_count),
+        )
+        weights = 1.0 / (match.residuals + self.config.likelihood_epsilon)
+        return UserSamples(
+            positions=match.positions.copy(),
+            weights=weights,
+            t_last=float(t),
+        )
 
     def _inactive_step(self, t: float) -> TrackerStep:
         estimates = np.stack([s.estimate() for s in self.samples])
@@ -282,6 +390,7 @@ class SequentialMonteCarloTracker:
             active=np.zeros(self.user_count, dtype=bool),
             objective=float("nan"),
             sample_sets=[s for s in self.samples],
+            reseeded=np.zeros(self.user_count, dtype=bool),
         )
 
     # ------------------------------------------------------------------

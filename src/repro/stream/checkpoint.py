@@ -30,6 +30,7 @@ from repro.stream.session import TrackingSession, TruthProvider
 from repro.util.persistence import (
     field_from_arrays,
     field_to_arrays,
+    require_format,
     require_keys,
 )
 
@@ -76,6 +77,9 @@ def save_checkpoint(session: TrackingSession, path: _PathLike) -> Path:
         "rng_state_json": np.array(rng_state),
         "t_last": np.array([s.t_last for s in tracker.samples]),
         "counters_json": np.array(counters),
+        # Additive key (not in _REQUIRED_KEYS): older checkpoints
+        # without it load with zeroed miss counters.
+        "miss_counts": np.asarray(tracker.miss_counts, dtype=np.int64),
     }
     for user, samples in enumerate(tracker.samples):
         arrays[f"positions_{user}"] = samples.positions
@@ -90,24 +94,26 @@ def save_checkpoint(session: TrackingSession, path: _PathLike) -> Path:
 
 
 def load_checkpoint(
-    path: _PathLike, truth: Optional[TruthProvider] = None
+    path: _PathLike,
+    truth: Optional[TruthProvider] = None,
+    fingerprint_map=None,
 ) -> TrackingSession:
     """Rebuild a session from :func:`save_checkpoint` output.
 
     The returned session's tracker continues deterministically: same
     samples, same weights, same RNG stream position. ``truth`` (not
     serializable) must be re-attached by the caller when error
-    accounting should continue.
+    accounting should continue; likewise ``fingerprint_map`` (shared,
+    read-only — never serialized into checkpoints) is re-attached here
+    and validated against the checkpointed deployment, so resuming
+    with a map built for different sniffers fails loudly with
+    :class:`~repro.errors.ConfigurationError` instead of reseeding
+    users onto wrong signatures.
     """
     path = Path(path)
     with np.load(path, allow_pickle=False) as data:
         require_keys(data, _REQUIRED_KEYS, path)
-        fmt = int(data["format"][0])
-        if fmt != CHECKPOINT_FORMAT:
-            raise ConfigurationError(
-                f"{path}: checkpoint format {fmt} unsupported "
-                f"(expected {CHECKPOINT_FORMAT})"
-            )
+        require_format(data, CHECKPOINT_FORMAT, path, kind="checkpoint")
         session_id = str(data["session_id"])
         field = field_from_arrays(str(data["field_kind"]), data["field_params"])
         sniffer_positions = data["sniffer_positions"]
@@ -116,6 +122,11 @@ def load_checkpoint(
         t_last = data["t_last"]
         counters = json.loads(str(data["counters_json"]))
         user_count = t_last.shape[0]
+        miss_counts = (
+            np.asarray(data["miss_counts"], dtype=np.int64)
+            if "miss_counts" in data
+            else np.zeros(user_count, dtype=np.int64)
+        )
         require_keys(
             data,
             [f"positions_{u}" for u in range(user_count)]
@@ -146,6 +157,14 @@ def load_checkpoint(
     )
     tracker._rng = _generator_from_state(rng_state)
     tracker.samples = sample_sets
+    tracker.miss_counts = miss_counts
+    if miss_counts.shape != (user_count,):
+        raise ConfigurationError(
+            f"{path}: miss_counts {miss_counts.shape} does not match "
+            f"user count {user_count}"
+        )
+    if fingerprint_map is not None:
+        tracker.attach_map(fingerprint_map)
     metrics = StreamMetrics()
     metrics.windows_processed = int(counters["windows_processed"])
     metrics.windows_skipped.update(counters["windows_skipped"])

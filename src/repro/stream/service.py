@@ -25,6 +25,7 @@ def resume_or_create(
     checkpoint_path: _PathLike,
     factory: Callable[[], TrackingSession],
     truth: Optional[TruthProvider] = None,
+    fingerprint_map=None,
 ) -> TrackingSession:
     """Load the session from ``checkpoint_path`` if present, else build one.
 
@@ -36,13 +37,21 @@ def resume_or_create(
 
     A process killed mid-run restarts with the same two lines and
     continues deterministically.
+
+    ``fingerprint_map`` — a shared read-only
+    :class:`repro.fpmap.FingerprintMap` — is re-attached to resumed
+    trackers (validated against the checkpointed deployment) and, when
+    the factory built a map-less tracker, attached to fresh sessions
+    too, so every session of a fleet serves from the one map instance.
     """
     path = Path(checkpoint_path)
     if path.exists():
-        return load_checkpoint(path, truth=truth)
+        return load_checkpoint(path, truth=truth, fingerprint_map=fingerprint_map)
     session = factory()
     if truth is not None and session.truth is None:
         session.truth = truth
+    if fingerprint_map is not None and session.tracker.fingerprint_map is None:
+        session.tracker.attach_map(fingerprint_map)
     return session
 
 

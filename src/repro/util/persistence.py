@@ -7,11 +7,15 @@ streaming service (:mod:`repro.stream`).
 
 All loaders raise :class:`repro.errors.ConfigurationError` on archives
 missing expected keys, so a truncated or foreign ``.npz`` fails with an
-actionable message instead of a raw numpy ``KeyError``.
+actionable message instead of a raw numpy ``KeyError``. Versioned
+archives (checkpoints, fingerprint maps) share :func:`require_format`
+for the format gate and :func:`deployment_hash` for detecting stale
+artifacts built against a different deployment.
 """
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 from typing import List, Tuple, Union
 
@@ -67,6 +71,46 @@ def require_keys(data, keys, path: _PathLike) -> None:
             f"{Path(path)} is missing expected keys {missing}; "
             "was it saved by a different repro version or tool?"
         )
+
+
+def require_format(data, expected: int, path: _PathLike, kind: str = "archive") -> int:
+    """Check a versioned archive's ``format`` key against ``expected``.
+
+    Shared by every versioned ``.npz`` family (stream checkpoints,
+    fingerprint maps) so stale files fail with the same actionable
+    :class:`~repro.errors.ConfigurationError` everywhere.
+    """
+    require_keys(data, ("format",), path)
+    fmt = int(np.asarray(data["format"]).ravel()[0])
+    if fmt != expected:
+        raise ConfigurationError(
+            f"{Path(path)}: {kind} format {fmt} unsupported (expected "
+            f"{expected}); rebuild it with this repro version"
+        )
+    return fmt
+
+
+def deployment_hash(
+    field: Field, sniffer_positions: np.ndarray, d_floor: float = 1.0
+) -> str:
+    """Stable hex digest identifying a (field, sniffer set, d_floor) deployment.
+
+    Artifacts derived from a deployment (fingerprint maps, seeded
+    caches) store this hash so loaders can refuse files built against a
+    different field geometry, sniffer placement, or flux-model clamp.
+    The hash covers exact float64 bytes — any numeric drift counts as a
+    different deployment.
+    """
+    kind, params = field_to_arrays(field)
+    positions = np.ascontiguousarray(
+        np.asarray(sniffer_positions, dtype=np.float64)
+    )
+    digest = hashlib.sha256()
+    digest.update(kind.encode("utf-8"))
+    digest.update(np.ascontiguousarray(params, dtype=np.float64).tobytes())
+    digest.update(np.asarray([float(d_floor)], dtype=np.float64).tobytes())
+    digest.update(positions.tobytes())
+    return digest.hexdigest()
 
 
 def save_network(network: Network, path: _PathLike) -> Path:
