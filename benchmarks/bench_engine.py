@@ -1,0 +1,313 @@
+"""Engine benchmark trajectory: kernel evaluation + parallel filtering.
+
+Two cases, both emitted into ``BENCH_engine.json`` through the shared
+runner (:mod:`repro.engine.benchrunner`):
+
+``kernel_pool``
+    A large candidate pool evaluated through the legacy pair-grid
+    implementation (:func:`reference_geometry_kernels`, the pre-engine
+    code kept verbatim as oracle/baseline) vs the chunked broadcast
+    evaluator, plus its float32 mode. Records the traced Python-level
+    peak allocation of both — the evidence that the chunked evaluator's
+    working set stays bounded while the reference materializes the
+    ``(m*n, 2)`` grid.
+
+``filtering``
+    The acceptance case: one 4-user / 1000-candidate / 3-sweep
+    coordinate-descent filtering round. The serial baseline reproduces
+    the *pre-engine* implementation bench-locally (reference kernels,
+    per-row scipy NNLS fallback, unconditional final re-rank); the
+    engine run is the shipped path with 4 workers. The run also asserts
+    that the engine's float64 output with workers is bitwise-identical
+    to its serial output.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--output P]
+
+or under pytest (one fast correctness test, no timing loops).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+import numpy as np
+
+from repro.engine import Engine, measure, reference_geometry_kernels, write_bench_json
+from repro.engine.kernels import evaluate_geometry_kernels
+from repro.fingerprint.nls import coordinate_descent
+from repro.fingerprint.objective import (
+    EvalWorkspace,
+    FluxObjective,
+    solve_thetas_batched,
+)
+from repro.fluxmodel.discrete import DiscreteFluxModel
+from repro.geometry import RectangularField
+from repro.network import build_network, sample_sniffers_percentage
+from repro.traffic import MeasurementModel, simulate_flux
+
+WORKERS = 4
+SEED = 20100621
+
+
+# ----------------------------------------------------------------------
+# Scenario.
+# ----------------------------------------------------------------------
+def _deployment(quick: bool):
+    if quick:
+        net = build_network(
+            field=RectangularField(15, 15), node_count=225, radius=2.0, rng=1234
+        )
+    else:
+        net = build_network(
+            field=RectangularField(30, 30), node_count=900, radius=2.4, rng=1234
+        )
+    sniffers = sample_sniffers_percentage(net, 10, rng=1)
+    return net, sniffers
+
+
+def _observation(net, sniffers, users: int):
+    gen = np.random.default_rng(SEED)
+    truth = net.field.sample_uniform(users, gen)
+    stretches = gen.uniform(1.5, 2.5, users)
+    flux = simulate_flux(net, list(truth), list(stretches), rng=gen)
+    return MeasurementModel(net, sniffers, smooth=True, rng=gen).observe(flux)
+
+
+# ----------------------------------------------------------------------
+# Bench-local reproduction of the pre-engine filtering round.
+# ----------------------------------------------------------------------
+def _legacy_evaluate_batch(objective, candidate_kernels, fixed_kernels, ws):
+    """The pre-engine ``FluxObjective.evaluate_batch`` body (preweighted)."""
+    N, n = candidate_kernels.shape
+    fixed_count = 0 if fixed_kernels is None else fixed_kernels.shape[0]
+    if fixed_count == 0:
+        stacks = candidate_kernels[:, None, :]
+    else:
+        stacks = ws.buffer("stacks", (N, 1 + fixed_count, n))
+        stacks[:, 0, :] = candidate_kernels
+        stacks[:, 1:, :] = fixed_kernels[None, :, :]
+    return solve_thetas_batched(
+        stacks, objective._weighted_target, workspace=ws, nnls_mode="scipy"
+    )
+
+
+def legacy_filtering_round(objective, pools, seed: int, sweeps: int):
+    """The pre-engine coordinate-descent filtering round, reproduced.
+
+    Reference pair-grid kernels, per-row scipy NNLS for every
+    negative-theta composition, and the unconditional final re-rank of
+    every user — the code path this PR replaced, timed as the honest
+    serial baseline.
+    """
+    gen = np.random.default_rng(seed)
+    K = len(pools)
+    model = objective.model
+    kernels = [
+        objective._weight_kernels(
+            reference_geometry_kernels(
+                model.field, model.node_positions, np.asarray(p, float),
+                model.d_floor,
+            )
+        )
+        for p in pools
+    ]
+    workspaces = [EvalWorkspace() for _ in range(K)]
+    order = np.arange(K)
+    gen.shuffle(order)
+    incumbents = np.zeros(K, dtype=np.int64)
+    fixed_stack: List[np.ndarray] = []
+    for j in order:
+        fixed = np.asarray(fixed_stack) if fixed_stack else None
+        _, objs = _legacy_evaluate_batch(objective, kernels[j], fixed, workspaces[j])
+        best = int(np.argmin(objs))
+        incumbents[j] = best
+        fixed_stack.append(kernels[j][best])
+    best_objective = np.inf
+    for _ in range(max(1, sweeps)):
+        improved = False
+        gen.shuffle(order)
+        for j in order:
+            others = [k for k in range(K) if k != j]
+            fixed = (
+                np.stack([kernels[k][incumbents[k]] for k in others])
+                if others
+                else None
+            )
+            _, objs = _legacy_evaluate_batch(
+                objective, kernels[j], fixed, workspaces[j]
+            )
+            best = int(np.argmin(objs))
+            if objs[best] < best_objective - 1e-9:
+                improved = True
+                best_objective = float(objs[best])
+                incumbents[j] = best
+        if not improved:
+            break
+    rankings = []
+    for j in range(K):
+        others = [k for k in range(K) if k != j]
+        fixed = (
+            np.stack([kernels[k][incumbents[k]] for k in others]) if others else None
+        )
+        _, objs = _legacy_evaluate_batch(objective, kernels[j], fixed, workspaces[j])
+        rankings.append(objs)
+    return incumbents, best_objective, rankings
+
+
+def engine_filtering_round(objective, pools, seed: int, sweeps: int, engine):
+    outcome = coordinate_descent(
+        objective, pools, rng=np.random.default_rng(seed), sweeps=sweeps,
+        engine=engine,
+    )
+    return outcome
+
+
+def check_parallel_equals_serial(objective, pools, sweeps: int, workers: int):
+    """Assert the engine's parallel float64 outputs are bitwise serial."""
+    serial = engine_filtering_round(objective, pools, SEED, sweeps, engine=None)
+    with Engine(workers=workers) as eng:
+        parallel = engine_filtering_round(objective, pools, SEED, sweeps, eng)
+    assert np.array_equal(serial.best_indices, parallel.best_indices)
+    assert np.array_equal(serial.best_thetas, parallel.best_thetas)
+    assert serial.best_objective == parallel.best_objective
+    for a, b in zip(serial.per_user_objectives, parallel.per_user_objectives):
+        assert np.array_equal(a, b), "parallel ranking diverged from serial"
+    for a, b in zip(serial.per_user_thetas, parallel.per_user_thetas):
+        assert np.array_equal(a, b)
+    return True
+
+
+# ----------------------------------------------------------------------
+# Cases.
+# ----------------------------------------------------------------------
+def case_kernel_pool(quick: bool, repeats: int):
+    sinks_count = 2000 if quick else 10000
+    net, sniffers = _deployment(quick)
+    model = DiscreteFluxModel(net.field, net.positions[sniffers])
+    gen = np.random.default_rng(SEED)
+    sinks = net.field.sample_uniform(sinks_count, gen)
+
+    reference = measure(
+        lambda: reference_geometry_kernels(
+            model.field, model.node_positions, sinks, model.d_floor
+        ),
+        repeats=repeats,
+        trace_memory=True,
+    )
+    chunked = measure(
+        lambda: model.geometry_kernels(sinks), repeats=repeats, trace_memory=True
+    )
+    with Engine(dtype="float32") as eng32:
+        f32 = measure(
+            lambda: model.geometry_kernels(sinks, engine=eng32),
+            repeats=repeats,
+            trace_memory=True,
+        )
+        got32 = model.geometry_kernels(sinks, engine=eng32)
+
+    want = reference_geometry_kernels(
+        model.field, model.node_positions, sinks, model.d_floor
+    )
+    got = model.geometry_kernels(sinks)
+    bitwise = bool(np.array_equal(want, got))
+    scale = np.maximum(np.abs(want), 1.0)
+    f32_err = float(np.max(np.abs(got32.astype(float) - want) / scale))
+    return {
+        "case": "kernel_pool",
+        "sinks": int(sinks_count),
+        "nodes": int(model.node_count),
+        "reference": reference,
+        "chunked": chunked,
+        "float32": f32,
+        "speedup": reference["median_s"] / chunked["median_s"],
+        "bitwise_equal_reference": bitwise,
+        "float32_max_rel_err": f32_err,
+        "traced_peak_ratio": (
+            reference["traced_peak_bytes"] / max(chunked["traced_peak_bytes"], 1)
+        ),
+    }
+
+
+def case_filtering(quick: bool, repeats: int):
+    users = 4
+    candidates = 300 if quick else 1000
+    sweeps = 2 if quick else 3
+    net, sniffers = _deployment(quick)
+    obs = _observation(net, sniffers, users)
+    model = DiscreteFluxModel(net.field, net.positions[sniffers])
+    objective = FluxObjective.from_observation(model, obs)
+    gen = np.random.default_rng(SEED)
+    pools = [net.field.sample_uniform(candidates, gen) for _ in range(users)]
+
+    serial = measure(
+        lambda: legacy_filtering_round(objective, pools, SEED, sweeps),
+        repeats=repeats,
+    )
+    with Engine(workers=WORKERS) as eng:
+        parallel = measure(
+            lambda: engine_filtering_round(objective, pools, SEED, sweeps, eng),
+            repeats=repeats,
+        )
+    equal = check_parallel_equals_serial(objective, pools, sweeps, WORKERS)
+    return {
+        "case": "filtering",
+        "users": users,
+        "candidates_per_user": candidates,
+        "sweeps": sweeps,
+        "workers": WORKERS,
+        "serial_baseline": "pre-engine implementation (reference pair-grid "
+        "kernels, per-row scipy NNLS, unconditional final re-rank)",
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": serial["median_s"] / parallel["median_s"],
+        "parallel_equals_serial": equal,
+    }
+
+
+def run(quick: bool = False, output: Optional[str] = None):
+    repeats = 2 if quick else 5
+    records = [case_kernel_pool(quick, repeats), case_filtering(quick, repeats)]
+    path = write_bench_json(
+        "engine", records, path=output, meta={"quick": quick, "seed": SEED}
+    )
+    return path, records
+
+
+# ----------------------------------------------------------------------
+# Pytest entry (correctness only, no timing loops).
+# ----------------------------------------------------------------------
+def test_engine_filtering_parallel_equals_serial():
+    net, sniffers = _deployment(quick=True)
+    obs = _observation(net, sniffers, 3)
+    model = DiscreteFluxModel(net.field, net.positions[sniffers])
+    objective = FluxObjective.from_observation(model, obs)
+    gen = np.random.default_rng(SEED)
+    pools = [net.field.sample_uniform(200, gen) for _ in range(3)]
+    assert check_parallel_equals_serial(objective, pools, sweeps=2, workers=4)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small scenario, 2 repeats (CI smoke)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="output path (default BENCH_engine.json)"
+    )
+    args = parser.parse_args(argv)
+    path, records = run(quick=args.quick, output=args.output)
+    for record in records:
+        print(json.dumps(
+            {k: v for k, v in record.items() if not isinstance(v, dict)}
+        ))
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,8 @@ pytest-benchmark like the rest of the suite, or standalone::
     PYTHONPATH=src python benchmarks/bench_fpmap_seeding.py
 
 emitting one JSON record with the median errors, wall-clock, and the
-map's kernel-cache hit rate.
+map's kernel-cache hit rate into ``BENCH_fpmap_seeding.json`` via the
+shared runner (:mod:`repro.engine.benchrunner`).
 """
 
 from __future__ import annotations
@@ -124,9 +125,15 @@ def test_fpmap_seeding_quarter_budget(benchmark, fpmap_scenario):
 
 
 def main() -> None:
+    from repro.engine import write_bench_json
+
     net, sniffers, fmap = _deployment()
     record = _run(net, sniffers, fmap, _scenarios(net, sniffers))
     print(json.dumps(record))
+    path = write_bench_json(
+        "fpmap_seeding", [record], meta={"resolution": RESOLUTION}
+    )
+    print(f"wrote {path}")
     assert record["median_error_seeded"] <= record["median_error_unseeded"], (
         "map-seeded search must not lose accuracy at a quarter budget"
     )

@@ -7,7 +7,9 @@ pytest-benchmark like the rest of the suite, or standalone::
 
     PYTHONPATH=src python benchmarks/bench_stream_throughput.py
 
-emitting one JSON record per fleet size for the perf trajectory.
+emitting one JSON record per fleet size into
+``BENCH_stream_throughput.json`` via the shared runner
+(:mod:`repro.engine.benchrunner`) for the perf trajectory.
 """
 
 from __future__ import annotations
@@ -99,17 +101,22 @@ def test_stream_throughput(benchmark, stream_scenario, session_count):
 
 
 def main() -> None:
+    from repro.engine import write_bench_json
+
     net, sniffers, observations = _scenario()
+    records = []
     for session_count in SESSION_COUNTS:
         workers = min(session_count, 4)
         manager, processed, elapsed = _run_fleet(
             net, sniffers, observations, session_count, workers
         )
-        print(
-            json.dumps(
-                _record(manager, processed, elapsed, session_count, workers)
-            )
-        )
+        record = _record(manager, processed, elapsed, session_count, workers)
+        records.append(record)
+        print(json.dumps(record))
+    path = write_bench_json(
+        "stream_throughput", records, meta={"rounds": ROUNDS}
+    )
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

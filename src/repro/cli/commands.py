@@ -32,6 +32,16 @@ def _network_from(args):
     )
 
 
+def _engine_from(args):
+    """Build the parallel engine requested by ``--workers``/``--chunk-size``/
+    ``--dtype`` (see docs/PERFORMANCE.md). Serial with default knobs."""
+    from repro.engine import Engine
+
+    return Engine(
+        workers=args.workers, chunk_size=args.chunk_size, dtype=args.dtype
+    )
+
+
 def _place_users(net, count, gen):
     truth = net.field.sample_uniform(count, gen)
     stretches = gen.uniform(1.0, 3.0, count)
@@ -78,6 +88,7 @@ def cmd_build_map(args) -> int:
         resolution=args.resolution,
         d_floor=args.d_floor,
         sniffer_ids=sniffers,
+        engine=_engine_from(args),
     )
     path = fmap.save(args.output)
     cols, rows = fmap.grid_shape()
@@ -136,6 +147,7 @@ def cmd_localize(args) -> int:
             rng=gen,
             fingerprint_map=fmap,
             seed_top_k=args.seed_top_k if args.map else 32,
+            engine=_engine_from(args),
         )
     except ConfigurationError as exc:
         print(f"cannot use map {args.map}: {exc}", file=sys.stderr)
@@ -200,6 +212,7 @@ def cmd_track(args) -> int:
             max_speed=args.max_speed,
         ),
         rng=gen,
+        engine=_engine_from(args),
     )
 
     print(f"{'round':>5}  mean error")
@@ -297,6 +310,7 @@ def cmd_track_stream(args) -> int:
             ),
             rng=gen,
             fingerprint_map=fmap,
+            engine=_engine_from(args),
         )
         return TrackingSession("cli", tracker, truth=truth)
 

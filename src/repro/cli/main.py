@@ -41,6 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
         "localize", help="run the sparse-sampling NLS localization attack"
     )
     _network_args(p)
+    _engine_args(p)
     p.add_argument("--users", type=int, default=2)
     p.add_argument(
         "--percentage", type=float, default=10.0, help="%% of nodes sniffed"
@@ -67,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
         "survey stage; reuse it with 'localize --map' / 'track-stream --map')",
     )
     _network_args(p)
+    _engine_args(p)
     p.add_argument(
         "--percentage", type=float, default=10.0, help="%% of nodes sniffed"
     )
@@ -81,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("track", help="run the SMC tracker over moving users")
     _network_args(p)
+    _engine_args(p)
     p.add_argument("--users", type=int, default=2)
     p.add_argument("--rounds", type=int, default=10)
     p.add_argument("--percentage", type=float, default=10.0)
@@ -99,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the streaming tracking service (replay / tail / live)",
     )
     _network_args(p)
+    _engine_args(p)
     p.add_argument(
         "--input", default=None, help="replay an .npz observation log"
     )
@@ -204,6 +208,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=commands.cmd_defend)
 
     return parser
+
+
+def _engine_args(p: argparse.ArgumentParser) -> None:
+    group = p.add_argument_group(
+        "engine", "parallel kernel engine (see docs/PERFORMANCE.md)"
+    )
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker threads for kernel evaluation and NLS solving "
+        "(0 = serial; float64 results are identical either way)",
+    )
+    group.add_argument(
+        "--chunk-size",
+        type=int,
+        default=4096,
+        help="candidate sinks per kernel-evaluation chunk (bounds the "
+        "evaluator's working set)",
+    )
+    group.add_argument(
+        "--dtype",
+        choices=["float64", "float32"],
+        default="float64",
+        help="kernel evaluation precision (float32 halves memory "
+        "traffic; the theta solve stays float64)",
+    )
 
 
 def _network_args(p: argparse.ArgumentParser) -> None:

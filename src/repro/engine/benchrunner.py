@@ -1,0 +1,124 @@
+"""Shared machine-readable benchmark runner (the perf trajectory).
+
+Every performance benchmark in ``benchmarks/`` funnels its results
+through :func:`write_bench_json`, producing one ``BENCH_<name>.json``
+per hot path with a stable schema::
+
+    {
+      "benchmark": "engine",
+      "env": {"cpus": ..., "python": ..., "numpy": ...},
+      "records": [ {case record...}, ... ]
+    }
+
+so this and every future perf PR appends comparable numbers — the
+"benchmark trajectory" the ROADMAP's fast-as-the-hardware-allows goal
+is steered by. :func:`measure` is the shared timing core: repeated
+wall-clock runs reduced to median/p95 plus the process peak RSS, and
+optionally the Python-level peak allocation of one traced run (the
+bounded-working-set evidence for the chunked kernel evaluator).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+def peak_rss_kb() -> int:
+    """Process high-water resident set size in KiB (Linux semantics)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes there
+        rss //= 1024
+    return int(rss)
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of a small sample."""
+    xs = sorted(float(v) for v in values)
+    if not xs:
+        raise ValueError("quantile of an empty sample")
+    if len(xs) == 1:
+        return xs[0]
+    pos = q * (len(xs) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(xs) - 1)
+    frac = pos - lo
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+
+def measure(
+    fn: Callable[[], Any],
+    repeats: int = 5,
+    warmup: int = 1,
+    trace_memory: bool = False,
+) -> Dict[str, Any]:
+    """Time ``fn`` ``repeats`` times; return the reduced record.
+
+    Returns ``median_s``, ``p95_s``, ``min_s``, the raw ``runs_s``
+    list, and ``peak_rss_kb``. With ``trace_memory`` one extra
+    (untimed) run executes under :mod:`tracemalloc` and the record
+    gains ``traced_peak_bytes`` — the Python-allocator high-water mark
+    of that run, which includes numpy array buffers and is what bounds
+    a chunked evaluator's working set.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(max(0, warmup)):
+        fn()
+    runs: List[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        runs.append(time.perf_counter() - started)
+    record: Dict[str, Any] = {
+        "runs_s": runs,
+        "median_s": quantile(runs, 0.5),
+        "p95_s": quantile(runs, 0.95),
+        "min_s": min(runs),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    if trace_memory:
+        tracemalloc.start()
+        try:
+            fn()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        record["traced_peak_bytes"] = int(peak)
+    return record
+
+
+def environment() -> Dict[str, Any]:
+    import numpy
+
+    return {
+        "cpus": __import__("os").cpu_count(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": sys.platform,
+    }
+
+
+def write_bench_json(
+    benchmark: str,
+    records: Sequence[Dict[str, Any]],
+    path: Optional[str] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write ``BENCH_<benchmark>.json`` (or ``path``) and return the path."""
+    out = Path(path) if path else Path(f"BENCH_{benchmark}.json")
+    payload: Dict[str, Any] = {
+        "benchmark": benchmark,
+        "env": environment(),
+        "records": list(records),
+    }
+    if meta:
+        payload["meta"] = dict(meta)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return out

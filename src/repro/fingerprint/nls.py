@@ -77,6 +77,7 @@ def coordinate_descent(
     tol: float = 1e-9,
     init_indices: Optional[np.ndarray] = None,
     pool_kernels: Optional[Sequence[Optional[np.ndarray]]] = None,
+    engine=None,
 ) -> SweepOutcome:
     """Coordinate-descent composition search over per-user candidate pools.
 
@@ -96,6 +97,14 @@ def coordinate_descent(
         over the objective's sniffer set (``None`` entries are
         computed here). Map-seeded search passes the fingerprint map's
         cached kernels so candidates at map cells cost nothing.
+    engine:
+        Optional :class:`repro.engine.Engine`. With workers, pool
+        kernel evaluation is chunk-parallel, each sweep's batched theta
+        solve splits its candidate rows across workers, and the final
+        per-user re-ranking fans out one user per worker. RNG
+        consumption (shuffles) stays serial, and every parallel section
+        writes disjoint output slices, so the float64 result is
+        bitwise-identical to the serial one.
     """
     if not pools:
         raise ConfigurationError("need at least one candidate pool")
@@ -114,7 +123,7 @@ def coordinate_descent(
     kernels = []
     for p, pre in zip(pools, pool_kernels):
         raw = (
-            objective.model.geometry_kernels(np.asarray(p, float))
+            objective.model.geometry_kernels(np.asarray(p, float), engine=engine)
             if pre is None
             else np.asarray(pre, dtype=float)
         )
@@ -148,7 +157,8 @@ def coordinate_descent(
         for j in order:
             fixed = np.asarray(fixed_stack) if fixed_stack else None
             _, objs = objective.evaluate_batch(
-                kernels[j], fixed, workspace=workspaces[j], preweighted=True
+                kernels[j], fixed, workspace=workspaces[j], preweighted=True,
+                engine=engine,
             )
             best = int(np.argmin(objs))
             incumbents[j] = best
@@ -156,10 +166,13 @@ def coordinate_descent(
             fixed_stack.append(kernels[j][best])
 
     # ------------------------------------------------------------------
-    # Sweeps.
+    # Sweeps. ``evals_valid[j]`` tracks whether user j's stored ranking
+    # was computed against the *current* incumbents of the other users;
+    # any incumbent move invalidates every other user's ranking.
     # ------------------------------------------------------------------
     per_user_objectives: List[Optional[np.ndarray]] = [None] * K
     per_user_thetas: List[Optional[np.ndarray]] = [None] * K
+    evals_valid = [False] * K
     best_objective = np.inf
     best_thetas = np.zeros(K)
 
@@ -174,15 +187,21 @@ def coordinate_descent(
                 else None
             )
             thetas, objs = objective.evaluate_batch(
-                kernels[j], fixed, workspace=workspaces[j], preweighted=True
+                kernels[j], fixed, workspace=workspaces[j], preweighted=True,
+                engine=engine,
             )
             per_user_objectives[j] = objs
             per_user_thetas[j] = thetas[:, 0]
+            evals_valid[j] = True
             best = int(np.argmin(objs))
             if objs[best] < best_objective - tol:
                 improved = True
                 best_objective = float(objs[best])
-                incumbents[j] = best
+                if best != incumbents[j]:
+                    incumbents[j] = best
+                    for k in range(K):
+                        if k != j:
+                            evals_valid[k] = False
                 # Reorder thetas back to user order (swept user first).
                 reordered = np.empty(K)
                 reordered[j] = thetas[best, 0]
@@ -193,16 +212,29 @@ def coordinate_descent(
             break
 
     # Ensure rankings reflect the final incumbents for every user.
-    for j in range(K):
+    # Only stale users are re-evaluated — when the loop exits via the
+    # unimproved-sweep break, every ranking already reflects the final
+    # incumbents and this costs nothing.
+    stale = [j for j in range(K) if not evals_valid[j]]
+
+    def _rerank(j: int) -> None:
         others = [k for k in range(K) if k != j]
         fixed = (
             np.stack([kernels[k][incumbents[k]] for k in others]) if others else None
         )
+        # Inner engine=None: this may already run on an engine worker
+        # (see the nesting rule in repro.engine.executor).
         thetas, objs = objective.evaluate_batch(
             kernels[j], fixed, workspace=workspaces[j], preweighted=True
         )
         per_user_objectives[j] = objs
         per_user_thetas[j] = thetas[:, 0]
+
+    if engine is not None and engine.parallel and len(stale) > 1:
+        engine.map(_rerank, stale)
+    else:
+        for j in stale:
+            _rerank(j)
 
     return SweepOutcome(
         best_indices=incumbents,
@@ -435,6 +467,7 @@ class NLSLocalizer:
         rng: RandomState = None,
         fingerprint_map=None,
         seed_top_k: int = 32,
+        engine=None,
     ) -> LocalizationResult:
         """Estimate the positions of ``user_count`` users.
 
@@ -458,6 +491,11 @@ class NLSLocalizer:
         seed_top_k:
             Map matches seeding each user's pool (capped by
             ``candidate_count``).
+        engine:
+            Optional :class:`repro.engine.Engine` forwarded to kernel
+            evaluation and coordinate descent. Restarts stay serial (the
+            candidate draws consume RNG), so results with and without an
+            engine are identical for float64.
         """
         if user_count < 1:
             raise ConfigurationError(f"user_count must be >= 1, got {user_count}")
@@ -516,7 +554,9 @@ class NLSLocalizer:
                         seeded.seed_indices[:k], columns=seed_columns
                     )
                     if pool.shape[0] > k:
-                        rest = objective.model.geometry_kernels(pool[k:])
+                        rest = objective.model.geometry_kernels(
+                            pool[k:], engine=engine
+                        )
                         kernels = np.concatenate([seed_kernels, rest], axis=0)
                     else:
                         kernels = np.asarray(seed_kernels)
@@ -524,7 +564,7 @@ class NLSLocalizer:
                     pool_kernels.append(kernels)
             outcome = coordinate_descent(
                 objective, pools, rng=gen, sweeps=sweeps,
-                pool_kernels=pool_kernels,
+                pool_kernels=pool_kernels, engine=engine,
             )
             # Harvest compositions: the incumbent plus, for each user,
             # its next-best alternatives against the incumbents.

@@ -83,30 +83,37 @@ class DiscreteFluxModel:
         dd = np.maximum(d, self.d_floor)
         return np.maximum((l * l - dd * dd) / (2.0 * dd), 0.0)
 
-    def geometry_kernels(self, sinks: np.ndarray) -> np.ndarray:
+    def geometry_kernels(
+        self,
+        sinks: np.ndarray,
+        engine=None,
+        out: Optional[np.ndarray] = None,
+        chunk_size: Optional[int] = None,
+    ) -> np.ndarray:
         """Stacked kernels for many candidate sinks: ``(m, n)``.
 
-        Fully vectorized over the (sink, node) product — this is the
-        inner loop of candidate search, evaluated for thousands of
-        candidates per filtering round.
+        This is the inner loop of candidate search, evaluated for
+        thousands of candidates per filtering round. Evaluation is
+        delegated to :func:`repro.engine.kernels.
+        evaluate_geometry_kernels`: broadcast over the (sink, node)
+        product (no flattened pair-grid materialization), streamed in
+        ``chunk_size`` blocks, and fanned out over ``engine``'s workers
+        when one is passed — bitwise-identical to the serial float64
+        result either way. ``out`` lets batch producers (the
+        fingerprint-map builder) write kernels straight into their own
+        storage.
         """
-        sinks = np.asarray(sinks, dtype=float)
-        if sinks.ndim == 1:
-            sinks = sinks[None, :]
-        sinks = self.field.clip(sinks)
-        m, n = sinks.shape[0], self.node_count
-        # Flatten the (m, n) pair grid into one ray-cast batch.
-        origins = np.repeat(sinks, n, axis=0)  # (m*n, 2)
-        nodes = np.tile(self.node_positions, (m, 1))  # (m*n, 2)
-        directions = nodes - origins
-        norms = np.hypot(directions[:, 0], directions[:, 1])
-        safe = np.maximum(norms, 1e-12)
-        unit = directions / safe[:, None]
-        unit[norms < 1e-12] = (1.0, 0.0)  # degenerate: node at the sink
-        l = self.field.ray_exit_distance(origins, unit)
-        d = np.maximum(norms, self.d_floor)
-        kernels = np.maximum((l * l - d * d) / (2.0 * d), 0.0)
-        return kernels.reshape(m, n)
+        from repro.engine.kernels import evaluate_geometry_kernels
+
+        return evaluate_geometry_kernels(
+            self.field,
+            self.node_positions,
+            sinks,
+            self.d_floor,
+            engine=engine,
+            out=out,
+            chunk_size=chunk_size,
+        )
 
     def predict(self, sinks: np.ndarray, thetas: Sequence[float]) -> np.ndarray:
         """Superposed model flux ``F_i = sum_j theta_j g_ij``.

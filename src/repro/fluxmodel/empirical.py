@@ -154,13 +154,18 @@ class CalibratedFluxModel(DiscreteFluxModel):
         super().__init__(field, node_positions, d_floor=d_floor)
         self.kernel = kernel
 
-    def geometry_kernels(self, sinks: np.ndarray) -> np.ndarray:
-        base = super().geometry_kernels(sinks)
+    def geometry_kernels(
+        self, sinks: np.ndarray, engine=None, out=None, chunk_size=None
+    ) -> np.ndarray:
+        base = super().geometry_kernels(
+            sinks, engine=engine, out=out, chunk_size=chunk_size
+        )
         sinks = np.asarray(sinks, dtype=float)
         if sinks.ndim == 1:
             sinks = sinks[None, :]
         sinks = self.field.clip(sinks)
-        out = np.empty_like(base)
+        # Correct in place: ``base`` is either our fresh allocation or
+        # the caller-supplied ``out`` — both must end up corrected.
         for j in range(sinks.shape[0]):
             d = np.hypot(
                 self.node_positions[:, 0] - sinks[j, 0],
@@ -168,8 +173,8 @@ class CalibratedFluxModel(DiscreteFluxModel):
             )
             l = boundary_distances(self.field, sinks[j], self.node_positions)
             rho = np.where(l > 1e-12, d / np.maximum(l, 1e-12), 1.0)
-            out[j] = base[j] * self.kernel.correction_at(rho)
-        return out
+            base[j] *= self.kernel.correction_at(rho)
+        return base
 
     def geometry_kernel(self, sink: np.ndarray) -> np.ndarray:
         return self.geometry_kernels(np.asarray(sink, dtype=float)[None, :])[0]

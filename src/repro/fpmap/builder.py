@@ -55,6 +55,7 @@ def build_fingerprint_map(
     d_floor: float = 1.0,
     sniffer_ids: Optional[np.ndarray] = None,
     block_size: int = 2048,
+    engine=None,
 ) -> FingerprintMap:
     """Precompute the flux-kernel fingerprint of every grid cell.
 
@@ -75,6 +76,11 @@ def build_fingerprint_map(
         to ``arange(n)``); stored so observations can be aligned.
     block_size:
         Cells per kernel-evaluation batch.
+    engine:
+        Optional :class:`repro.engine.Engine`; cell batches are fanned
+        out across its workers, each writing its block of the signature
+        matrix in place (float64 output is bitwise-identical to the
+        serial build).
     """
     sniffer_positions = np.asarray(sniffer_positions, dtype=float)
     if sniffer_positions.ndim != 2 or sniffer_positions.shape[1] != 2:
@@ -97,10 +103,13 @@ def build_fingerprint_map(
 
     cells = grid_cells(field, resolution)
     model = DiscreteFluxModel(field, sniffer_positions, d_floor=d_floor)
+    # One chunked (and, with an engine, parallel) evaluation straight
+    # into the signature matrix — ``block_size`` still bounds the
+    # per-chunk working set, now inside the engine evaluator.
     signatures = np.empty((cells.shape[0], sniffer_positions.shape[0]))
-    for start in range(0, cells.shape[0], block_size):
-        block = cells[start : start + block_size]
-        signatures[start : start + block.shape[0]] = model.geometry_kernels(block)
+    model.geometry_kernels(
+        cells, engine=engine, out=signatures, chunk_size=block_size
+    )
 
     return FingerprintMap(
         field=field,

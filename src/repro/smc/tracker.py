@@ -169,6 +169,13 @@ class SequentialMonteCarloTracker:
         Optional :class:`repro.fpmap.FingerprintMap` built for this
         exact deployment; enables the degenerate-sample recovery path
         (see :meth:`attach_map`). Validated on attach.
+    engine:
+        Optional :class:`repro.engine.Engine` used by every filtering
+        round: prediction-pool kernel evaluation runs chunk-parallel
+        and the coordinate-descent solves split across workers. The
+        sampling phases consume RNG serially regardless, so a tracker
+        with an engine follows the exact trajectory of one without
+        (float64 bitwise).
     """
 
     def __init__(
@@ -180,6 +187,7 @@ class SequentialMonteCarloTracker:
         start_time: float = 0.0,
         rng: RandomState = None,
         fingerprint_map=None,
+        engine=None,
     ):
         if user_count < 1:
             raise ConfigurationError(f"user_count must be >= 1, got {user_count}")
@@ -191,6 +199,7 @@ class SequentialMonteCarloTracker:
             d_floor=self.config.d_floor,
         )
         self._rng = as_generator(rng)
+        self.engine = engine
         # Initialization: M random positions, equal weights (Algorithm 4.1).
         self.samples: List[UserSamples] = [
             UserSamples.uniform_prior(
@@ -266,7 +275,8 @@ class SequentialMonteCarloTracker:
 
         # Filtering phase: composition search + per-user rankings.
         outcome = coordinate_descent(
-            objective, pools, rng=self._rng, sweeps=cfg.sweeps
+            objective, pools, rng=self._rng, sweeps=cfg.sweeps,
+            engine=self.engine,
         )
 
         # Asynchronous updating: decide who actually collected. The
@@ -277,14 +287,10 @@ class SequentialMonteCarloTracker:
         # Use the objective's model: it is restricted to the non-NaN
         # sniffers when readings dropped out, and the activity test must
         # compare kernels and target over the same node set.
-        incumbent_kernels = np.stack(
-            [
-                objective.model.geometry_kernel(
-                    pools[u][outcome.best_indices[u]]
-                )
-                for u in range(self.user_count)
-            ]
+        incumbent_positions = np.stack(
+            [pools[u][outcome.best_indices[u]] for u in range(self.user_count)]
         )
+        incumbent_kernels = objective.model.geometry_kernels(incumbent_positions)
         active_mask, pruned_thetas, _ = forward_select_active(
             objective, incumbent_kernels, min_improvement=cfg.activity_tolerance
         )

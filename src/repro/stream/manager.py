@@ -47,7 +47,15 @@ class SessionManager:
         ``"drop_oldest"`` or ``"block"`` (see module docstring).
     workers:
         ``0`` processes inline during :meth:`drain`; ``>= 1`` fans the
-        drain out across sessions on a thread pool of that size.
+        drain out across sessions on a throwaway thread pool of that
+        size (one pool per drain call).
+    engine:
+        Optional :class:`repro.engine.Engine`. Takes precedence over
+        ``workers``: drains fan out across sessions on the engine's
+        *persistent* pool, avoiding the per-drain pool spin-up of the
+        ``workers`` path (which is kept for compatibility). Per the
+        engine nesting rule, sessions drained through an engine must
+        not hand that same engine to their own trackers.
     """
 
     def __init__(
@@ -55,6 +63,7 @@ class SessionManager:
         queue_size: int = 256,
         policy: str = "drop_oldest",
         workers: int = 0,
+        engine=None,
     ):
         if queue_size < 1:
             raise ConfigurationError(
@@ -69,6 +78,7 @@ class SessionManager:
         self.queue_size = int(queue_size)
         self.policy = policy
         self.workers = int(workers)
+        self.engine = engine
         self._sessions: "OrderedDict[str, TrackingSession]" = OrderedDict()
         self._queue: Deque[Tuple[str, FluxObservation]] = deque()
         self._lock = threading.Lock()
@@ -159,7 +169,9 @@ class SessionManager:
                 session.process(observation)
             return len(by_session[session_id])
 
-        if self.workers >= 1 and len(by_session) > 1:
+        if self.engine is not None and self.engine.parallel and len(by_session) > 1:
+            counts = self.engine.map(_run, list(by_session))
+        elif self.workers >= 1 and len(by_session) > 1:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 counts = list(pool.map(_run, by_session))
         else:
