@@ -27,12 +27,16 @@ Quick start::
 """
 
 from repro.errors import (
+    AdmissionError,
+    BackpressureTimeout,
     ConfigurationError,
     ConnectivityError,
+    DeadlineExpired,
     DeploymentError,
     FittingError,
     GeometryError,
     ReproError,
+    ServeError,
     StreamError,
     TraceError,
     TrackingError,
@@ -95,6 +99,10 @@ __all__ = [
     "TrackingError",
     "TraceError",
     "StreamError",
+    "BackpressureTimeout",
+    "ServeError",
+    "AdmissionError",
+    "DeadlineExpired",
     "RectangularField",
     "CircularField",
     "PolygonField",

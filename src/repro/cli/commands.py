@@ -443,6 +443,185 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import threading
+    import time
+
+    from repro.errors import ConfigurationError
+    from repro.serve import (
+        LocalizationService,
+        LocalizeRequest,
+        MetricsServer,
+        TrackStepRequest,
+    )
+
+    gen = as_generator(args.seed)
+    net = _network_from(args)
+
+    fmap = None
+    if args.map:
+        from repro.fpmap import FingerprintMap
+
+        try:
+            fmap = FingerprintMap.load(args.map)
+        except ConfigurationError as exc:
+            print(f"cannot use map {args.map}: {exc}", file=sys.stderr)
+            return 1
+        sniffers = np.asarray(fmap.sniffer_ids, dtype=np.int64)
+        if sniffers.size and sniffers.max() >= net.node_count:
+            print(
+                f"cannot use map {args.map}: sniffer ids exceed the "
+                f"{net.node_count}-node network (different deployment args?)",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        sniffers = sample_sniffers_percentage(net, args.percentage, rng=gen)
+
+    try:
+        service = LocalizationService(
+            net.field,
+            net.positions[sniffers],
+            d_floor=fmap.d_floor if fmap is not None else 1.0,
+            engine=_engine_from(args),
+            fingerprint_map=fmap,
+            map_resolution=args.map_resolution if fmap is None else None,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1000.0,
+            queue_capacity=args.queue_capacity,
+            admission_policy=args.policy,
+        )
+    except ConfigurationError as exc:
+        print(f"cannot build service: {exc}", file=sys.stderr)
+        return 1
+    deadline_s = (
+        args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+    )
+
+    # Pre-generate every client's workload on the main thread so the
+    # client threads only submit and wait (the RNG is not shared).
+    measure = MeasurementModel(net, sniffers, smooth=True, rng=gen)
+    localize_work = []  # (client, requests, truths)
+    for c in range(args.clients):
+        requests, truths = [], []
+        for r in range(args.requests):
+            truth, stretches = _place_users(net, args.users, gen)
+            flux = simulate_flux(net, list(truth), list(stretches), rng=gen)
+            requests.append(
+                LocalizeRequest(
+                    request_id=f"c{c}-r{r}",
+                    client_id=f"client-{c}",
+                    observation=measure.observe(flux),
+                    user_count=args.users,
+                    candidate_count=args.candidates,
+                    restarts=args.restarts,
+                    seed=int(gen.integers(2**31)),
+                    deadline_s=deadline_s,
+                )
+            )
+            truths.append(truth)
+        localize_work.append((f"client-{c}", requests, truths))
+
+    track_work = []  # (session_id, observations)
+    for t in range(args.track_sessions):
+        from repro.stream import SyntheticLiveSource
+
+        live = SyntheticLiveSource(
+            net,
+            sniffers,
+            user_count=args.users,
+            rounds=args.requests,
+            rng=gen,
+        )
+        session_id = f"track-{t}"
+        service.open_session(session_id, args.users, rng=gen)
+        track_work.append((session_id, list(live)))
+
+    lock = threading.Lock()
+    ok_replies, error_codes, errors = [], [], []
+
+    def run_localize(client_id, requests, truths):
+        for request, truth in zip(requests, truths):
+            reply = service.submit(request).result()
+            with lock:
+                if reply.ok:
+                    ok_replies.append(reply)
+                    errors.append(reply.result.errors_to(truth).mean())
+                else:
+                    error_codes.append(reply.code)
+
+    def run_track(session_id, observations):
+        for r, obs in enumerate(observations):
+            reply = service.submit(
+                TrackStepRequest(
+                    request_id=f"{session_id}-r{r}",
+                    client_id=session_id,
+                    session_id=session_id,
+                    observation=obs,
+                    deadline_s=deadline_s,
+                )
+            ).result()
+            with lock:
+                if reply.ok:
+                    ok_replies.append(reply)
+                else:
+                    error_codes.append(reply.code)
+
+    endpoint = None
+    if args.metrics_port is not None:
+        endpoint = MetricsServer(service.metrics, port=args.metrics_port)
+        print(f"metrics on http://127.0.0.1:{endpoint.start()}/metrics")
+
+    threads = [
+        threading.Thread(target=run_localize, args=work, name=work[0])
+        for work in localize_work
+    ] + [
+        threading.Thread(target=run_track, args=work, name=work[0])
+        for work in track_work
+    ]
+    map_tag = " (map-seeded)" if service.fingerprint_map is not None else ""
+    print(
+        f"serving {len(localize_work)} localize clients x {args.requests} "
+        f"requests + {len(track_work)} tracking sessions on "
+        f"{sniffers.size}/{net.node_count} sniffed nodes{map_tag}; "
+        f"max_batch={args.max_batch} max_wait={args.max_wait_ms:g}ms "
+        f"policy={args.policy}"
+    )
+    service.start()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    summary = service.stop(checkpoint_dir=args.checkpoint_dir)
+    if endpoint is not None:
+        endpoint.stop()
+
+    total = len(ok_replies) + len(error_codes)
+    rps = total / elapsed if elapsed > 0 else float("nan")
+    print(
+        f"{total} replies in {elapsed:.2f}s ({rps:.0f} req/s): "
+        f"{len(ok_replies)} ok, {len(error_codes)} errors"
+    )
+    if error_codes:
+        from collections import Counter
+
+        for code, count in sorted(Counter(error_codes).items()):
+            print(f"  {code}: {count}")
+    if errors:
+        print(f"mean localization error {np.mean(errors):.2f}")
+    for session_id, path in sorted(summary["checkpoints"].items()):
+        print(f"checkpointed {session_id} -> {path}")
+    metrics_json = service.metrics.to_json()
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(metrics_json + "\n")
+        print(f"wrote metrics to {args.metrics_out}")
+    else:
+        print(metrics_json)
+    return 0
+
+
 def cmd_defend(args) -> int:
     from repro.countermeasures import defense_tradeoff
 

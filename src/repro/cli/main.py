@@ -200,6 +200,89 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=commands.cmd_experiment)
 
     p = sub.add_parser(
+        "serve",
+        help="run the micro-batched localization service under a "
+        "synthetic multi-client load",
+    )
+    _network_args(p)
+    _engine_args(p)
+    p.add_argument(
+        "--percentage", type=float, default=20.0, help="%% of nodes sniffed"
+    )
+    p.add_argument(
+        "--clients", type=int, default=8, help="concurrent logical clients"
+    )
+    p.add_argument(
+        "--requests", type=int, default=10, help="requests per client"
+    )
+    p.add_argument(
+        "--users", type=int, default=1, help="users fitted per request"
+    )
+    p.add_argument("--candidates", type=int, default=128)
+    p.add_argument("--restarts", type=int, default=1)
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="micro-batch size cap (1 = per-request dispatch)",
+    )
+    p.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch linger before a partial batch is drained",
+    )
+    p.add_argument(
+        "--queue-capacity", type=int, default=512, help="admission queue bound"
+    )
+    p.add_argument(
+        "--policy",
+        choices=["reject", "block"],
+        default="reject",
+        help="admission policy when the queue is full",
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline (expired work gets typed error replies)",
+    )
+    p.add_argument(
+        "--map",
+        default=None,
+        help="seed candidate pools from this fingerprint map "
+        "(repro build-map output; its sniffer set replaces --percentage)",
+    )
+    p.add_argument(
+        "--map-resolution",
+        type=float,
+        default=None,
+        help="build the deployment's map at this resolution before serving",
+    )
+    p.add_argument(
+        "--track-sessions",
+        type=int,
+        default=0,
+        help="also open this many tracking sessions and interleave "
+        "track-step requests",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="drain-and-checkpoint tracking sessions here on shutdown",
+    )
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="expose GET /metrics on this port while serving (0 = ephemeral)",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, help="write the final metrics JSON here"
+    )
+    p.set_defaults(handler=commands.cmd_serve)
+
+    p = sub.add_parser(
         "defend", help="evaluate padding / dummy-sink countermeasures"
     )
     _network_args(p)

@@ -29,6 +29,18 @@ import tracemalloc
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+# Percentile reduction is shared with the stream/serve metrics layers;
+# re-exported here because benchmark modules import it from benchrunner.
+from repro.metrics import quantile
+
+__all__ = [
+    "peak_rss_kb",
+    "quantile",
+    "measure",
+    "environment",
+    "write_bench_json",
+]
+
 
 def peak_rss_kb() -> int:
     """Process high-water resident set size in KiB (Linux semantics)."""
@@ -36,20 +48,6 @@ def peak_rss_kb() -> int:
     if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes there
         rss //= 1024
     return int(rss)
-
-
-def quantile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated quantile of a small sample."""
-    xs = sorted(float(v) for v in values)
-    if not xs:
-        raise ValueError("quantile of an empty sample")
-    if len(xs) == 1:
-        return xs[0]
-    pos = q * (len(xs) - 1)
-    lo = int(pos)
-    hi = min(lo + 1, len(xs) - 1)
-    frac = pos - lo
-    return xs[lo] * (1.0 - frac) + xs[hi] * frac
 
 
 def measure(

@@ -56,3 +56,36 @@ class StreamError(ReproError):
     This is raised for structural failures: an unusable source, a
     checkpoint that does not match its session, a closed manager.
     """
+
+
+class BackpressureTimeout(StreamError):
+    """Block-mode backpressure could not admit a submission in time.
+
+    Raised by :meth:`repro.stream.manager.SessionManager.submit` when
+    the ``block`` policy waited longer than the configured timeout for
+    the queue to drain below capacity. The submission was *not*
+    enqueued; the producer decides whether to retry, shed, or abort.
+    """
+
+
+class ServeError(ReproError):
+    """Base class for failures of the batched localization service.
+
+    Service replies carry these as *typed error replies* (an
+    :class:`repro.serve.ErrorReply` names the concrete subclass via its
+    ``code``); they are raised only when a caller explicitly converts a
+    reply back into an exception.
+    """
+
+
+class AdmissionError(ServeError):
+    """A request was refused by admission control (full queue or
+    per-client quota) — under the ``reject`` policy immediately, under
+    the ``block`` policy after the block timeout elapsed."""
+
+
+class DeadlineExpired(ServeError):
+    """A request's deadline passed before the scheduler reached it.
+
+    Expired work is never silently dropped: the scheduler purges it
+    from the queue and completes it with this typed error."""

@@ -382,6 +382,65 @@ def forward_select_active(
     return mask, thetas, obj
 
 
+def harvest_outcome(
+    heap: List[Tuple[float, int, np.ndarray, np.ndarray]],
+    counter: int,
+    outcome: SweepOutcome,
+    pools: Sequence[np.ndarray],
+    top_m: int,
+) -> int:
+    """Push one descent outcome's compositions onto a harvest heap.
+
+    Harvests the incumbent composition plus, for each user, its
+    ``top_m`` next-best alternatives evaluated against the incumbents
+    of the others — the composition family :meth:`NLSLocalizer.
+    localize` accumulates across restarts. Factored out so the serving
+    layer's batched solve phase reuses the exact localize harvest.
+    Returns the updated heap tiebreak counter.
+    """
+    K = len(pools)
+    incumbent_pos = np.stack(
+        [pools[j][outcome.best_indices[j]] for j in range(K)]
+    )
+    _heap_push(
+        heap, counter, outcome.best_objective, incumbent_pos,
+        outcome.best_thetas,
+    )
+    counter += 1
+    for j in range(K):
+        objs = outcome.per_user_objectives[j]
+        order = np.argsort(objs)[: top_m + 1]
+        for idx in order:
+            if idx == outcome.best_indices[j]:
+                continue
+            pos = incumbent_pos.copy()
+            pos[j] = pools[j][idx]
+            thetas = outcome.best_thetas.copy()
+            thetas[j] = outcome.per_user_thetas[j][idx]
+            _heap_push(heap, counter, float(objs[idx]), pos, thetas)
+            counter += 1
+    return counter
+
+
+def fits_from_heap(
+    heap: List[Tuple[float, int, np.ndarray, np.ndarray]], top_m: int
+) -> List[CompositionFit]:
+    """The ``top_m`` best harvested compositions as CompositionFits."""
+    fits = [
+        CompositionFit(
+            positions=pos, thetas=np.maximum(thetas, 0.0), objective=obj
+        )
+        for obj, _, pos, thetas in sorted(heap, key=lambda e: e[0])[:top_m]
+    ]
+    if not fits:
+        raise FittingError("localization produced no candidate compositions")
+    return fits
+
+
+def _heap_push(heap, counter, objective, positions, thetas) -> None:
+    heapq.heappush(heap, (float(objective), counter, positions, thetas))
+
+
 def enumerate_compositions(
     objective: FluxObjective, pools: Sequence[np.ndarray], top_m: int = 10
 ) -> List[CompositionFit]:
@@ -568,40 +627,6 @@ class NLSLocalizer:
             )
             # Harvest compositions: the incumbent plus, for each user,
             # its next-best alternatives against the incumbents.
-            incumbent_pos = np.stack(
-                [pools[j][outcome.best_indices[j]] for j in range(user_count)]
-            )
-            self._push(
-                heap,
-                counter,
-                outcome.best_objective,
-                incumbent_pos,
-                outcome.best_thetas,
-            )
-            counter += 1
-            for j in range(user_count):
-                objs = outcome.per_user_objectives[j]
-                order = np.argsort(objs)[: top_m + 1]
-                for idx in order:
-                    if idx == outcome.best_indices[j]:
-                        continue
-                    pos = incumbent_pos.copy()
-                    pos[j] = pools[j][idx]
-                    thetas = outcome.best_thetas.copy()
-                    thetas[j] = outcome.per_user_thetas[j][idx]
-                    self._push(heap, counter, float(objs[idx]), pos, thetas)
-                    counter += 1
+            counter = harvest_outcome(heap, counter, outcome, pools, top_m)
 
-        fits = [
-            CompositionFit(
-                positions=pos, thetas=np.maximum(thetas, 0.0), objective=obj
-            )
-            for obj, _, pos, thetas in sorted(heap, key=lambda e: e[0])[:top_m]
-        ]
-        if not fits:
-            raise FittingError("localization produced no candidate compositions")
-        return LocalizationResult(fits=fits)
-
-    @staticmethod
-    def _push(heap, counter, objective, positions, thetas) -> None:
-        heapq.heappush(heap, (float(objective), counter, positions, thetas))
+        return LocalizationResult(fits=fits_from_heap(heap, top_m))

@@ -17,7 +17,7 @@ Two query families serve the online stages:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -100,6 +100,7 @@ class SpatialIndex:
             self._tree = tree_cls(positions)
             self.backend = "kdtree"
         self._diameter = max(extent * np.sqrt(2.0), 1e-9)
+        self._sig_norms: Optional[np.ndarray] = None
 
     @property
     def cell_count(self) -> int:
@@ -192,7 +193,15 @@ class SpatialIndex:
                 f"target must have shape ({sig.shape[1]},), got {target.shape}"
             )
         num = sig @ target  # (C,)
-        den = np.einsum("cn,cn->c", sig, sig)
+        if columns is None:
+            # Observation-independent: cache the full-column signature
+            # self-dots (the serving hot path matches thousands of
+            # observations against the same map).
+            if self._sig_norms is None:
+                self._sig_norms = np.einsum("cn,cn->c", sig, sig)
+            den = self._sig_norms
+        else:
+            den = np.einsum("cn,cn->c", sig, sig)
         thetas = np.maximum(num / np.maximum(den, 1e-300), 0.0)
         # ||F' - theta g||^2 expanded; clamp tiny negatives from rounding.
         sq = np.maximum(
@@ -200,6 +209,75 @@ class SpatialIndex:
             0.0,
         )
         residuals = np.sqrt(sq)
+        return self._rank_matches(residuals, thetas, k)
+
+    def knn_by_signature_batch(
+        self, targets: np.ndarray, ks: Sequence[int]
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Fused :meth:`knn_by_signature` over many observations.
+
+        One einsum evaluates the cell/observation score grid for the
+        whole batch instead of dispatching ~a dozen small numpy ops per
+        observation — the serving scheduler's fused match path. Every
+        operation is column-local (einsum reduces over ``n`` per output
+        element, the rest is elementwise), so each observation's result
+        is bitwise-identical whether it shares the call with 0 or 100
+        others. Full-column observations only: dropout requests carry
+        per-observation column subsets and take the single-observation
+        path.
+
+        Parameters
+        ----------
+        targets:
+            ``(B, n)`` observed flux vectors (finite everywhere).
+        ks:
+            Per-observation match counts (length ``B``).
+
+        Returns one ``(indices, thetas, residuals)`` triple per
+        observation, ascending by residual.
+        """
+        if self.signatures is None:
+            raise ConfigurationError(
+                "this index was built without signatures; "
+                "pass signatures= to enable kNN-by-signature"
+            )
+        sig = self.signatures
+        targets = np.asarray(targets, dtype=float)
+        if targets.ndim != 2 or targets.shape[1] != sig.shape[1]:
+            raise ConfigurationError(
+                f"targets must be (B, {sig.shape[1]}), got {targets.shape}"
+            )
+        if len(ks) != targets.shape[0]:
+            raise ConfigurationError(
+                f"need one k per target: {len(ks)} ks for "
+                f"{targets.shape[0]} targets"
+            )
+        if self._sig_norms is None:
+            self._sig_norms = np.einsum("cn,cn->c", sig, sig)
+        den = self._sig_norms
+        num = np.einsum("cn,bn->cb", sig, targets)  # (C, B)
+        t2 = np.einsum("bn,bn->b", targets, targets)
+        thetas = np.maximum(num / np.maximum(den, 1e-300)[:, None], 0.0)
+        sq = np.maximum(
+            t2[None, :] - 2.0 * thetas * num + thetas * thetas * den[:, None],
+            0.0,
+        )
+        residuals = np.sqrt(sq)
+        return [
+            self._rank_matches(
+                np.ascontiguousarray(residuals[:, b]),
+                np.ascontiguousarray(thetas[:, b]),
+                min(int(k), self.cell_count),
+            )
+            for b, k in enumerate(ks)
+        ]
+
+    @staticmethod
+    def _rank_matches(
+        residuals: np.ndarray, thetas: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
         if k < residuals.shape[0]:
             part = np.argpartition(residuals, k - 1)[:k]
         else:

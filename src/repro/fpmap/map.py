@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -221,6 +221,40 @@ class FingerprintMap:
             thetas=thetas,
             residuals=residuals,
         )
+
+    def match_many(
+        self, values: np.ndarray, ks: Sequence[int]
+    ) -> List[MapMatch]:
+        """Fused single-user matches for a batch of observations.
+
+        The serving scheduler's hot path: one einsum scores every
+        (cell, observation) pair instead of one small-op cascade per
+        observation, with per-observation results bitwise-identical to
+        any other batch split (see :meth:`SpatialIndex.
+        knn_by_signature_batch`). Observations must be finite
+        everywhere — dropout requests go through :meth:`match`.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != self.sniffer_count:
+            raise ConfigurationError(
+                f"values must be (B, {self.sniffer_count}), got {values.shape}"
+            )
+        if not np.all(np.isfinite(values)):
+            raise ConfigurationError(
+                "match_many requires finite observations; route dropout "
+                "observations through match()"
+            )
+        return [
+            MapMatch(
+                indices=idx,
+                positions=self.cell_positions[idx],
+                thetas=thetas,
+                residuals=residuals,
+            )
+            for idx, thetas, residuals in self.index.knn_by_signature_batch(
+                values, ks
+            )
+        ]
 
     def peel_matches(
         self, values: np.ndarray, users: int, k: int = 10

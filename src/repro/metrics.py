@@ -1,0 +1,116 @@
+"""Shared metrics primitives: percentiles and latency reservoirs.
+
+Before this module existed the percentile machinery lived twice — a
+pure-Python linear-interpolated :func:`quantile` in
+:mod:`repro.engine.benchrunner` (small benchmark samples) and an
+``np.quantile`` ring buffer inside :class:`repro.stream.metrics.
+StreamMetrics` (per-window latencies). The serving layer needs the same
+machinery a third time (request latencies, batch-size distributions),
+so both implementations were factored here and are re-exported from
+their original homes.
+
+Two quantile flavors are kept deliberately:
+
+* :func:`quantile` — the benchrunner's pure-Python linear
+  interpolation, for tiny samples where importing numpy paths buys
+  nothing. Its output is the historical ``BENCH_*.json`` contract.
+* :meth:`LatencyReservoir.quantiles` — ``np.quantile`` over the
+  retained ring-buffer window, the historical ``StreamMetrics``
+  contract.
+
+The regression tests in ``tests/test_metrics_shared.py`` pin both
+against verbatim copies of the pre-factoring implementations on fixed
+inputs, so neither refactor changed a single reported number.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of a small sample.
+
+    Exact behavior of the pre-factoring benchrunner implementation:
+    sort, position ``q * (len - 1)``, convex combination of the two
+    bracketing order statistics.
+    """
+    xs = sorted(float(v) for v in values)
+    if not xs:
+        raise ValueError("quantile of an empty sample")
+    if len(xs) == 1:
+        return xs[0]
+    pos = q * (len(xs) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(xs) - 1)
+    frac = pos - lo
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+
+def quantile_labels(qs: Sequence[float]) -> list:
+    """``[0.5, 0.95, 0.99] -> ["p50", "p95", "p99"]`` (stable keys)."""
+    labels = []
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        scaled = q * 100.0
+        labels.append(
+            f"p{scaled:g}" if scaled != int(scaled) else f"p{int(scaled)}"
+        )
+    return labels
+
+
+class LatencyReservoir:
+    """Bounded ring buffer of latency samples with quantile readout.
+
+    Retains the most recent ``capacity`` samples, so a long-running
+    service reports *recent* latency, not lifetime. This is the buffer
+    that previously lived inside ``StreamMetrics``; quantiles are
+    computed with ``np.quantile`` over the retained window, exactly as
+    before the factoring.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"latency_capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._values = np.empty(self.capacity, dtype=float)
+        self._count = 0  # total ever recorded
+
+    def record(self, value: float) -> None:
+        self._values[self._count % self.capacity] = float(value)
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total samples ever recorded (not just retained)."""
+        return self._count
+
+    @property
+    def retained(self) -> int:
+        return min(self._count, self.capacity)
+
+    def values(self) -> np.ndarray:
+        """The retained window (read-only view semantics: do not mutate)."""
+        return self._values[: self.retained]
+
+    def quantiles(self, qs: Sequence[float] = (0.50, 0.95)) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ...}`` over the retained window.
+
+        Empty reservoirs report NaN for every requested quantile (the
+        historical ``StreamMetrics`` behavior).
+        """
+        labels = quantile_labels(qs)
+        if self.retained == 0:
+            return {label: float("nan") for label in labels}
+        window = self.values()
+        return {
+            label: float(np.quantile(window, q))
+            for label, q in zip(labels, qs)
+        }

@@ -1,0 +1,60 @@
+"""Request/reply localization-and-tracking service (micro-batched).
+
+Many logical clients submit :class:`LocalizeRequest` /
+:class:`TrackStepRequest` work to one :class:`LocalizationService`,
+which shares the deployment's flux model, fingerprint map, and engine
+pool across all of them. Admission is bounded and client-fair
+(:class:`AdmissionQueue`), evaluation is micro-batched with fused
+engine kernel calls (:class:`MicroBatchScheduler`), operations are
+observable (:class:`ServerMetrics`, :class:`MetricsServer`), and
+shutdown drains then checkpoints every tracking session.
+"""
+
+from repro.serve.admission import (
+    ADMITTED,
+    CLOSED,
+    REJECTED,
+    TIMED_OUT,
+    AdmissionQueue,
+    PendingRequest,
+)
+from repro.serve.metrics import MetricsServer, ServerMetrics
+from repro.serve.requests import (
+    ERROR_ADMISSION_TIMEOUT,
+    ERROR_DEADLINE_EXPIRED,
+    ERROR_INTERNAL,
+    ERROR_REJECTED,
+    ERROR_SHUTDOWN,
+    ERROR_UNKNOWN_SESSION,
+    ErrorReply,
+    LocalizeReply,
+    LocalizeRequest,
+    TrackStepReply,
+    TrackStepRequest,
+)
+from repro.serve.scheduler import MicroBatchScheduler
+from repro.serve.service import LocalizationService
+
+__all__ = [
+    "ADMITTED",
+    "CLOSED",
+    "REJECTED",
+    "TIMED_OUT",
+    "AdmissionQueue",
+    "PendingRequest",
+    "MetricsServer",
+    "ServerMetrics",
+    "ERROR_ADMISSION_TIMEOUT",
+    "ERROR_DEADLINE_EXPIRED",
+    "ERROR_INTERNAL",
+    "ERROR_REJECTED",
+    "ERROR_SHUTDOWN",
+    "ERROR_UNKNOWN_SESSION",
+    "ErrorReply",
+    "LocalizeReply",
+    "LocalizeRequest",
+    "TrackStepReply",
+    "TrackStepRequest",
+    "MicroBatchScheduler",
+    "LocalizationService",
+]

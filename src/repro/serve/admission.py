@@ -1,0 +1,289 @@
+"""Admission control: the bounded, client-fair front door of the service.
+
+The queue holds :class:`PendingRequest` envelopes (request + reply
+future + deadline) in *per-client* FIFO lanes and hands them to the
+scheduler in round-robin client order, so a flooding client cannot
+starve the others — it can only fill its own lane. Overload behavior is
+a policy choice made at construction:
+
+``reject``
+    A full queue (or a full per-client lane) refuses the request
+    immediately; the caller answers it with a typed
+    ``admission_rejected`` error reply. Predictable latency, bounded
+    memory, the client decides whether to retry.
+``block``
+    ``offer`` waits (bounded by ``block_timeout_s``) for the scheduler
+    to make room. Nothing is refused while the service keeps up; a
+    timeout becomes a typed ``admission_timeout`` error reply.
+
+Deadlines are enforced at drain time: :meth:`take` purges lapsed
+entries into its ``expired`` result instead of handing them to the
+scheduler, and the service completes them with ``deadline_expired``
+error replies — stale work never reaches the solver and is never
+silently dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: ``offer`` outcomes.
+ADMITTED = "admitted"
+REJECTED = "rejected"
+TIMED_OUT = "timed_out"
+CLOSED = "closed"
+
+_POLICIES = ("reject", "block")
+
+
+@dataclass
+class PendingRequest:
+    """Queue envelope: one request awaiting its reply.
+
+    ``expires_at`` is an absolute ``time.monotonic()`` instant derived
+    from the request's relative ``deadline_s`` at submission (``None``
+    = no deadline).
+    """
+
+    request: object
+    future: Future
+    submitted_at: float
+    expires_at: Optional[float] = None
+    batch_size: int = field(default=0)
+
+    @classmethod
+    def wrap(cls, request, now: Optional[float] = None) -> "PendingRequest":
+        now = time.monotonic() if now is None else now
+        deadline_s = getattr(request, "deadline_s", None)
+        expires_at = None if deadline_s is None else now + float(deadline_s)
+        return cls(
+            request=request, future=Future(), submitted_at=now,
+            expires_at=expires_at,
+        )
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.expires_at is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.expires_at
+
+    def latency(self, now: Optional[float] = None) -> float:
+        return (time.monotonic() if now is None else now) - self.submitted_at
+
+
+class AdmissionQueue:
+    """Bounded multi-client FIFO with round-robin fair draining.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued requests across all clients.
+    policy:
+        ``"reject"`` or ``"block"`` (see module docstring).
+    block_timeout_s:
+        Block-policy only: longest an :meth:`offer` may wait for room.
+        ``None`` waits indefinitely (only sensible in tests).
+    per_client_limit:
+        Optional cap on one client's queued requests. A client at its
+        cap is refused (both policies) while other clients are still
+        admitted — the fairness backstop against a single flooder.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        policy: str = "reject",
+        block_timeout_s: Optional[float] = 5.0,
+        per_client_limit: Optional[int] = None,
+    ):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if policy not in _POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {_POLICIES}, got {policy!r}"
+            )
+        if block_timeout_s is not None and block_timeout_s <= 0:
+            raise ConfigurationError(
+                f"block_timeout_s must be positive, got {block_timeout_s}"
+            )
+        if per_client_limit is not None and per_client_limit < 1:
+            raise ConfigurationError(
+                f"per_client_limit must be >= 1, got {per_client_limit}"
+            )
+        self.capacity = int(capacity)
+        self.policy = policy
+        self.block_timeout_s = block_timeout_s
+        self.per_client_limit = per_client_limit
+        self._lanes: "OrderedDict[str, Deque[PendingRequest]]" = OrderedDict()
+        self._turns: Deque[str] = deque()  # round-robin client order
+        self._depth = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        with self._cond:
+            return self._depth
+
+    def client_depth(self, client_id: str) -> int:
+        with self._cond:
+            lane = self._lanes.get(client_id)
+            return 0 if lane is None else len(lane)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    def offer(self, item: PendingRequest) -> str:
+        """Try to admit one envelope; returns an ``offer`` outcome.
+
+        ``REJECTED``/``TIMED_OUT``/``CLOSED`` mean the item was *not*
+        enqueued; the caller owns completing its future with the
+        matching typed error reply.
+        """
+        client_id = item.request.client_id
+        with self._cond:
+            if self._closed:
+                return CLOSED
+            if (
+                self.per_client_limit is not None
+                and len(self._lanes.get(client_id, ())) >= self.per_client_limit
+            ):
+                return REJECTED
+            if self._depth >= self.capacity:
+                if self.policy == "reject":
+                    return REJECTED
+                deadline = (
+                    None
+                    if self.block_timeout_s is None
+                    else time.monotonic() + self.block_timeout_s
+                )
+                while self._depth >= self.capacity and not self._closed:
+                    remaining = (
+                        None if deadline is None
+                        else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        return TIMED_OUT
+                    self._cond.wait(remaining)
+                if self._closed:
+                    return CLOSED
+                if (
+                    self.per_client_limit is not None
+                    and len(self._lanes.get(client_id, ()))
+                    >= self.per_client_limit
+                ):
+                    return REJECTED
+            lane = self._lanes.get(client_id)
+            if lane is None:
+                lane = self._lanes[client_id] = deque()
+                self._turns.append(client_id)
+            lane.append(item)
+            self._depth += 1
+            self._cond.notify_all()
+            return ADMITTED
+
+    # ------------------------------------------------------------------
+    def take(
+        self,
+        max_items: int,
+        wait_timeout: Optional[float] = 0.05,
+        batch_wait: float = 0.0,
+    ) -> Tuple[List[PendingRequest], List[PendingRequest]]:
+        """Drain up to ``max_items`` in fair order; purge expired work.
+
+        Micro-batching trigger: block until the queue is non-empty (at
+        most ``wait_timeout`` seconds — ``None`` waits indefinitely),
+        then linger up to ``batch_wait`` seconds for the batch to fill
+        to ``max_items`` before draining. Returns ``(batch, expired)``;
+        expired envelopes (deadline lapsed while queued) are removed
+        from the queue but *not* part of the batch.
+
+        Fairness: one item per client per turn, clients visited
+        round-robin, a client's lane staying FIFO. A drained-empty lane
+        leaves the rotation until that client submits again.
+        """
+        if max_items < 1:
+            raise ConfigurationError(
+                f"max_items must be >= 1, got {max_items}"
+            )
+        with self._cond:
+            if not self._wait_nonempty(wait_timeout):
+                return [], []
+            if batch_wait > 0 and self._depth < max_items:
+                deadline = time.monotonic() + batch_wait
+                while self._depth < max_items and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+            return self._drain_locked(max_items)
+
+    def _wait_nonempty(self, timeout: Optional[float]) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._depth == 0:
+            if self._closed:
+                return False
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                return False
+            self._cond.wait(remaining)
+        return True
+
+    def _drain_locked(
+        self, max_items: int
+    ) -> Tuple[List[PendingRequest], List[PendingRequest]]:
+        now = time.monotonic()
+        batch: List[PendingRequest] = []
+        expired: List[PendingRequest] = []
+        idle_turns = 0
+        while self._depth > 0 and len(batch) < max_items:
+            if not self._turns or idle_turns >= len(self._turns):
+                break  # defensive: no lane can supply another item
+            client_id = self._turns.popleft()
+            lane = self._lanes.get(client_id)
+            if not lane:
+                self._lanes.pop(client_id, None)
+                idle_turns += 1
+                continue
+            idle_turns = 0
+            item = lane.popleft()
+            self._depth -= 1
+            if item.expired(now):
+                expired.append(item)
+            else:
+                batch.append(item)
+            if lane:
+                self._turns.append(client_id)
+            else:
+                self._lanes.pop(client_id, None)
+        if batch or expired:
+            self._cond.notify_all()  # wake blocked producers
+        return batch, expired
+
+    # ------------------------------------------------------------------
+    def drain_all(self) -> List[PendingRequest]:
+        """Remove and return everything still queued (shutdown path)."""
+        with self._cond:
+            items: List[PendingRequest] = []
+            while self._depth > 0:
+                taken, expired = self._drain_locked(self._depth)
+                items.extend(expired)
+                items.extend(taken)
+            return items
+
+    def close(self) -> None:
+        """Refuse new offers and wake every waiter (take and offer)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

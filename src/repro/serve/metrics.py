@@ -1,0 +1,222 @@
+"""Operational metrics of the batched localization service.
+
+One :class:`ServerMetrics` per service, updated from the submission
+path and the scheduler thread (all mutation under one lock), read by
+anyone: :meth:`snapshot` is the JSON-ready dict behind
+:meth:`to_json` and the :class:`MetricsServer` HTTP endpoint.
+
+The latency machinery is the shared :class:`repro.metrics.
+LatencyReservoir` — the same ring buffer the streaming layer uses —
+extended here with p99 (a serving SLO, not a tracking one) and a
+batch-size histogram, the direct evidence of how well micro-batching
+is amortizing engine calls.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import Counter
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.metrics import LatencyReservoir
+
+
+class ServerMetrics:
+    """Counters, histograms, and latency quantiles for one service."""
+
+    def __init__(self, latency_capacity: int = 8192):
+        self._lock = threading.Lock()
+        self._latencies = LatencyReservoir(latency_capacity)
+        self._queue_wait = LatencyReservoir(latency_capacity)
+        self.requests_submitted = 0
+        self.replies_ok = 0
+        self.replies_error: Counter = Counter()  # by ErrorReply.code
+        self.admission_rejections = 0
+        self.admission_timeouts = 0
+        self.deadline_expiries = 0
+        self.batches = 0
+        self.batch_sizes: Counter = Counter()  # exact size -> count
+        self.fused_candidate_rows = 0
+        self.queue_depth = 0  # gauge: sampled at each batch drain
+
+    # ------------------------------------------------------------------
+    def record_submit(self) -> None:
+        with self._lock:
+            self.requests_submitted += 1
+
+    def record_rejection(self, timed_out: bool = False) -> None:
+        with self._lock:
+            if timed_out:
+                self.admission_timeouts += 1
+            else:
+                self.admission_rejections += 1
+
+    def record_batch(
+        self, size: int, queue_depth: int, fused_rows: int = 0
+    ) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batch_sizes[int(size)] += 1
+            self.queue_depth = int(queue_depth)
+            self.fused_candidate_rows += int(fused_rows)
+
+    def record_reply(
+        self, latency_s: float, queue_wait_s: Optional[float] = None
+    ) -> None:
+        with self._lock:
+            self.replies_ok += 1
+            self._latencies.record(latency_s)
+            if queue_wait_s is not None:
+                self._queue_wait.record(queue_wait_s)
+
+    def record_error(self, code: str, latency_s: Optional[float] = None) -> None:
+        with self._lock:
+            self.replies_error[code] += 1
+            if code == "deadline_expired":
+                self.deadline_expiries += 1
+            if latency_s is not None and np.isfinite(latency_s):
+                self._latencies.record(latency_s)
+
+    def set_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depth = int(depth)
+
+    # ------------------------------------------------------------------
+    def latency_quantiles(self) -> Dict[str, float]:
+        """p50/p95/p99 reply latency (seconds), recent window."""
+        with self._lock:
+            return self._latencies.quantiles((0.50, 0.95, 0.99))
+
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            total = sum(self.batch_sizes.values())
+            if total == 0:
+                return float("nan")
+            weighted = sum(s * c for s, c in self.batch_sizes.items())
+            return weighted / total
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-ready dict of everything (the /metrics payload)."""
+        with self._lock:
+            quantiles = self._latencies.quantiles((0.50, 0.95, 0.99))
+            waits = self._queue_wait.quantiles((0.50, 0.95))
+            sizes = dict(sorted(self.batch_sizes.items()))
+            total = sum(sizes.values())
+            mean_batch = (
+                sum(s * c for s, c in sizes.items()) / total
+                if total
+                else float("nan")
+            )
+            return {
+                "requests_submitted": self.requests_submitted,
+                "replies_ok": self.replies_ok,
+                "replies_error": dict(self.replies_error),
+                "replies_error_total": int(sum(self.replies_error.values())),
+                "admission_rejections": self.admission_rejections,
+                "admission_timeouts": self.admission_timeouts,
+                "deadline_expiries": self.deadline_expiries,
+                "queue_depth": self.queue_depth,
+                "batches": self.batches,
+                "batch_size_histogram": {str(k): v for k, v in sizes.items()},
+                "batch_size_mean": mean_batch,
+                "fused_candidate_rows": self.fused_candidate_rows,
+                "latency_p50_s": quantiles["p50"],
+                "latency_p95_s": quantiles["p95"],
+                "latency_p99_s": quantiles["p99"],
+                "queue_wait_p50_s": waits["p50"],
+                "queue_wait_p95_s": waits["p95"],
+            }
+
+    def to_json(self, indent: int = 2) -> str:
+        def _nan_safe(value):
+            if isinstance(value, float) and not np.isfinite(value):
+                return None
+            return value
+
+        payload = {k: _nan_safe(v) for k, v in self.snapshot().items()}
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+class MetricsServer:
+    """Minimal HTTP JSON endpoint for a :class:`ServerMetrics`.
+
+    Serves ``GET /metrics`` (the snapshot JSON) and ``GET /healthz``
+    (``{"status": "ok"}``) from a daemon thread — enough for a scrape
+    target or a curl during a load test, with zero dependencies.
+
+    Parameters
+    ----------
+    metrics:
+        The metrics object to expose.
+    host / port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`
+        after :meth:`start`).
+    """
+
+    def __init__(self, metrics: ServerMetrics, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.metrics = metrics
+        self.host = host
+        self._requested_port = int(port)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port once started (``None`` before)."""
+        if self._httpd is None:
+            return None
+        return int(self._httpd.server_address[1])
+
+    def start(self) -> int:
+        """Bind, spawn the serving thread, return the bound port."""
+        metrics = self.metrics
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path in ("/metrics", "/"):
+                    body = metrics.to_json().encode()
+                elif self.path == "/healthz":
+                    body = b'{"status": "ok"}'
+                else:
+                    self.send_error(404)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence stderr chatter
+                pass
+
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), _Handler
+        )
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,217 @@
+"""Request and reply types of the batched localization service.
+
+Requests are immutable value objects: a logical client names itself
+(``client_id`` — the admission layer's fairness unit), tags the request
+(``request_id`` — the reply correlation key), and optionally attaches a
+relative deadline. Replies are equally plain: one success type per
+request type, plus :class:`ErrorReply`, the *typed error reply* every
+failed request receives — rejected, expired, or crashed work is always
+answered, never silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Type
+
+import numpy as np
+
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    DeadlineExpired,
+    ServeError,
+)
+from repro.fingerprint.results import LocalizationResult
+from repro.traffic.measurement import FluxObservation
+
+#: Error-reply codes (``ErrorReply.code``) and the exception type each
+#: maps back to via :meth:`ErrorReply.to_exception`.
+ERROR_REJECTED = "admission_rejected"
+ERROR_ADMISSION_TIMEOUT = "admission_timeout"
+ERROR_DEADLINE_EXPIRED = "deadline_expired"
+ERROR_SHUTDOWN = "shutdown"
+ERROR_UNKNOWN_SESSION = "unknown_session"
+ERROR_INTERNAL = "internal"
+
+_ERROR_TYPES = {
+    ERROR_REJECTED: AdmissionError,
+    ERROR_ADMISSION_TIMEOUT: AdmissionError,
+    ERROR_DEADLINE_EXPIRED: DeadlineExpired,
+    ERROR_SHUTDOWN: AdmissionError,
+    ERROR_UNKNOWN_SESSION: ServeError,
+    ERROR_INTERNAL: ServeError,
+}
+
+
+def _require_identity(request_id: str, client_id: str) -> None:
+    if not request_id:
+        raise ConfigurationError("request_id must be non-empty")
+    if not client_id:
+        raise ConfigurationError("client_id must be non-empty")
+
+
+def _require_deadline(deadline_s: Optional[float]) -> None:
+    if deadline_s is not None and not deadline_s >= 0:
+        raise ConfigurationError(
+            f"deadline_s must be >= 0 seconds, got {deadline_s}"
+        )
+
+
+@dataclass(frozen=True)
+class LocalizeRequest:
+    """One instant-localization job: K user positions from one window.
+
+    Attributes
+    ----------
+    request_id / client_id:
+        Reply correlation key and fairness unit (see module docstring).
+    observation:
+        The flux window to fit, over the service's sniffer set.
+    user_count .. seed_top_k:
+        The :meth:`repro.fingerprint.NLSLocalizer.localize` search
+        budget knobs.
+    seed:
+        Integer seed of the request's private RNG streams. Identical
+        requests (same seed, same observation, same knobs) produce
+        bitwise-identical replies whether they were solved alone or
+        inside a micro-batch — the scheduler's fused paths are all
+        row-local.
+    use_map:
+        Seed candidate pools from the service's fingerprint map when it
+        has one (ignored otherwise).
+    deadline_s:
+        Relative deadline in seconds from submission. Work still queued
+        when it lapses is answered with a ``deadline_expired``
+        :class:`ErrorReply`.
+    """
+
+    request_id: str
+    client_id: str
+    observation: FluxObservation
+    user_count: int = 1
+    candidate_count: int = 512
+    top_m: int = 10
+    restarts: int = 1
+    sweeps: int = 4
+    seed: int = 0
+    seed_top_k: int = 32
+    use_map: bool = True
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _require_identity(self.request_id, self.client_id)
+        _require_deadline(self.deadline_s)
+        for name in ("user_count", "candidate_count", "top_m", "restarts",
+                     "sweeps", "seed_top_k"):
+            value = getattr(self, name)
+            if int(value) < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {value}")
+        if not isinstance(self.observation, FluxObservation):
+            raise ConfigurationError(
+                f"observation must be a FluxObservation, "
+                f"got {type(self.observation).__name__}"
+            )
+
+
+@dataclass(frozen=True)
+class TrackStepRequest:
+    """One tracking-session step: feed a window to a service session.
+
+    Within one ``session_id`` the scheduler preserves submission order
+    (FIFO), so a client streaming windows through the service sees the
+    same tracker trajectory as a local
+    :class:`repro.stream.TrackingSession` loop.
+    """
+
+    request_id: str
+    client_id: str
+    session_id: str
+    observation: FluxObservation
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _require_identity(self.request_id, self.client_id)
+        _require_deadline(self.deadline_s)
+        if not self.session_id:
+            raise ConfigurationError("session_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class LocalizeReply:
+    """Successful localization: the top-``top_m`` fitted compositions."""
+
+    request_id: str
+    client_id: str
+    result: LocalizationResult
+    latency_s: float
+    batch_size: int
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    def estimates(self) -> np.ndarray:
+        """Best composition's ``(K, 2)`` position estimates."""
+        return self.result.position_estimates()
+
+
+@dataclass(frozen=True)
+class TrackStepReply:
+    """Tracking-step outcome: the step, or the session's skip reason.
+
+    A *skipped* window (out-of-order, arity mismatch, …) is a normal
+    service-level success — the session counted it and kept its state —
+    so it arrives as a reply with ``step=None`` and the skip reason,
+    not as an :class:`ErrorReply`.
+    """
+
+    request_id: str
+    client_id: str
+    session_id: str
+    step: Optional[object]  # repro.smc.tracker.TrackerStep
+    skip_reason: Optional[str]
+    estimates: np.ndarray
+    latency_s: float
+    batch_size: int
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """Typed error reply: every failed request gets exactly one.
+
+    ``code`` is one of the module-level ``ERROR_*`` constants; it maps
+    to a :class:`~repro.errors.ServeError` subclass via
+    :meth:`to_exception` for callers that prefer raising.
+    """
+
+    request_id: str
+    client_id: str
+    code: str
+    message: str = ""
+    latency_s: float = field(default=float("nan"))
+
+    def __post_init__(self) -> None:
+        if self.code not in _ERROR_TYPES:
+            raise ConfigurationError(
+                f"unknown error code {self.code!r}; "
+                f"expected one of {sorted(_ERROR_TYPES)}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    @property
+    def exception_type(self) -> Type[ServeError]:
+        return _ERROR_TYPES[self.code]
+
+    def to_exception(self) -> ServeError:
+        detail = f": {self.message}" if self.message else ""
+        return self.exception_type(
+            f"request {self.request_id!r} ({self.code}){detail}"
+        )

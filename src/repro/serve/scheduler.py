@@ -1,0 +1,628 @@
+"""Micro-batching scheduler: fused evaluation of coalesced requests.
+
+The scheduler thread drains the admission queue in micro-batches (the
+trigger is *max batch size or max wait, whichever first*) and answers
+every drained envelope exactly once. The point of batching on a
+localization service is not thread parallelism — it is **fusion**: the
+geometry-kernel evaluation that dominates a localization request is a
+row-local map over candidate positions, so the candidate pools of all
+requests in a batch can be concatenated and evaluated in *one* engine
+kernels call, amortizing the per-call dispatch, validation, and chunk
+setup that a request paid on its own. Single-user solves fuse the same
+way: the per-candidate theta/objective math is one einsum row reduction,
+so a batch of K=1 requests becomes one stacked row sweep.
+
+Determinism contract (the acceptance bar of this layer): a request's
+reply is bitwise-identical (float64) whether it was solved alone or
+inside any micro-batch, because
+
+* each request's candidate pools are drawn from its **own** seeded RNG
+  streams (``np.random.SeedSequence(seed).spawn(2)`` — one stream for
+  pool draws, one for the descent search), never from a shared
+  generator whose consumption order would depend on batch composition;
+* every fused operation is **row-local** — geometry kernels are
+  per-(sink, sniffer) pairs chunked over rows, and the fused K=1 solve
+  uses per-row einsum reductions — so the values computed for one
+  request's rows are independent of which other rows share the call;
+* sniffer dropout (NaN readings) restricts a request to a column
+  subset, and the geometry kernel of a (sink, sniffer) pair does not
+  depend on the other sniffers, so slicing the full-set kernels equals
+  computing on the restricted model.
+
+Per-request dispatch is literally this same scheduler with
+``max_batch=1`` — one code path, two batch sizes — which is what makes
+the batched-vs-unbatched identity trivially auditable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fingerprint.candidates import MapSeededCandidates, UniformCandidates
+from repro.fingerprint.nls import (
+    NLSLocalizer,
+    coordinate_descent,
+    fits_from_heap,
+    harvest_outcome,
+)
+from repro.fingerprint.objective import _RIDGE
+from repro.fingerprint.results import CompositionFit, LocalizationResult
+from repro.serve.admission import AdmissionQueue, PendingRequest
+from repro.serve.metrics import ServerMetrics
+from repro.serve.requests import (
+    ERROR_DEADLINE_EXPIRED,
+    ERROR_INTERNAL,
+    ERROR_UNKNOWN_SESSION,
+    ErrorReply,
+    LocalizeReply,
+    LocalizeRequest,
+    TrackStepReply,
+    TrackStepRequest,
+)
+
+#: Row block of the fused single-user solve: bounds the ``(block, n)``
+#: residual temporary while staying large enough to amortize dispatch.
+_SOLVE_BLOCK_ROWS = 8192
+
+
+class _LocalizePlan:
+    """One localize request, planned: pools drawn, kernels pending.
+
+    ``pools[r][u]`` is restart ``r``/user ``u``'s ``(N, 2)`` candidate
+    pool; ``seed_kernels[r][u]`` its map-cache kernel rows (``None``
+    without a map); ``pool_kernels`` is filled by the fused kernel pass
+    with the full raw ``(N, n_obs)`` kernels in the same layout.
+    """
+
+    __slots__ = (
+        "item", "request", "objective", "columns", "pools",
+        "seed_kernels", "pool_kernels", "search_seed",
+    )
+
+    def __init__(self, item, request, objective, columns, pools,
+                 seed_kernels, search_seed):
+        self.item = item
+        self.request = request
+        self.objective = objective
+        self.columns = columns
+        self.pools = pools
+        self.seed_kernels = seed_kernels
+        self.pool_kernels: List[List[Optional[np.ndarray]]] = [
+            [None] * len(row) for row in pools
+        ]
+        self.search_seed = search_seed
+
+
+def _fused_match_eligible(fingerprint_map, request) -> bool:
+    """Single-user, map-seeded, no-dropout: one fused match suffices.
+
+    Multi-user peeling is sequential (each match subtracts the prior
+    fit) and dropout restricts columns per observation, so those take
+    the per-request :meth:`FingerprintMap.peel_matches` path.
+    """
+    return (
+        fingerprint_map is not None
+        and isinstance(request, LocalizeRequest)
+        and request.use_map
+        and request.user_count == 1
+        and bool(np.all(np.isfinite(np.asarray(request.observation.values,
+                                               dtype=float))))
+    )
+
+
+def fuse_map_matches(
+    fingerprint_map, items: Sequence[PendingRequest]
+) -> Dict[int, object]:
+    """Pre-match eligible requests' observations in one fused call.
+
+    Returns ``{id(item): MapMatch}`` for the eligible subset; the plan
+    phase consumes these instead of per-request ``peel_matches``. Both
+    dispatch modes route through :meth:`FingerprintMap.match_many`
+    (batch size 1 in per-request mode), so the fusion never changes a
+    reply.
+    """
+    eligible = [
+        item for item in items
+        if _fused_match_eligible(fingerprint_map, item.request)
+    ]
+    if not eligible:
+        return {}
+    values = np.stack(
+        [np.asarray(i.request.observation.values, dtype=float)
+         for i in eligible]
+    )
+    ks = [min(i.request.seed_top_k, i.request.candidate_count)
+          for i in eligible]
+    matches = fingerprint_map.match_many(values, ks)
+    return {id(item): match for item, match in zip(eligible, matches)}
+
+
+def plan_localize(
+    localizer: NLSLocalizer, fingerprint_map, item: PendingRequest,
+    prematch=None,
+) -> _LocalizePlan:
+    """Draw a request's candidate pools from its private RNG streams.
+
+    Mirrors the map-seeded pool construction of
+    :meth:`NLSLocalizer.localize`, except that *all* restarts' pools are
+    drawn up front from a dedicated pool stream (the descent search gets
+    its own spawned stream), so the kernel evaluation of every pool can
+    be fused across the batch without perturbing any request's draws.
+    ``prematch`` is the request's :func:`fuse_map_matches` result, when
+    it was eligible.
+    """
+    req = item.request
+    pool_seed, search_seed = np.random.SeedSequence(int(req.seed)).spawn(2)
+    gen = np.random.default_rng(pool_seed)
+    objective = localizer.objective_for(req.observation)
+
+    values = np.asarray(req.observation.values, dtype=float)
+    good = np.isfinite(values)
+    columns = None if bool(np.all(good)) else np.flatnonzero(good)
+
+    seed_generators: Optional[List[MapSeededCandidates]] = None
+    if fingerprint_map is not None and req.use_map:
+        if prematch is not None:
+            matches = [prematch]
+        else:
+            matches = fingerprint_map.peel_matches(
+                values, req.user_count,
+                k=min(req.seed_top_k, req.candidate_count),
+            )
+        refine = 2.0 * fingerprint_map.resolution
+        seed_generators = [
+            MapSeededCandidates.from_match(localizer.field, match, refine)
+            for match in matches
+        ]
+    uniform = UniformCandidates(localizer.field)
+
+    pools: List[List[np.ndarray]] = []
+    seed_kernels: List[List[Optional[np.ndarray]]] = []
+    for _ in range(max(1, req.restarts)):
+        row_pools: List[np.ndarray] = []
+        row_seeds: List[Optional[np.ndarray]] = []
+        for u in range(req.user_count):
+            if seed_generators is None:
+                row_pools.append(uniform.generate(req.candidate_count, gen))
+                row_seeds.append(None)
+            else:
+                seeded = seed_generators[u]
+                pool = seeded.generate(req.candidate_count, gen)
+                k = seeded.seed_count(req.candidate_count)
+                kernels = fingerprint_map.kernels_for(
+                    seeded.seed_indices[:k], columns=columns
+                )
+                row_pools.append(pool)
+                row_seeds.append(np.asarray(kernels, dtype=float))
+        pools.append(row_pools)
+        seed_kernels.append(row_seeds)
+    return _LocalizePlan(
+        item=item, request=req, objective=objective, columns=columns,
+        pools=pools, seed_kernels=seed_kernels, search_seed=search_seed,
+    )
+
+
+def fuse_pool_kernels(model, plans: Sequence[_LocalizePlan], engine=None) -> int:
+    """Evaluate every plan's non-seed candidate rows in one kernels call.
+
+    Concatenates the unseeded rows of all pools across all plans,
+    evaluates geometry kernels over the **full** sniffer set once, then
+    slices each plan's column subset (dropout) and stitches map-seed
+    kernels back in front. Row-locality of the kernel makes the split
+    irrelevant to the values; returns the fused row count (a metrics
+    signal of how much work one engine call amortized).
+    """
+    segments: List[Tuple[_LocalizePlan, int, int, int]] = []
+    rows: List[np.ndarray] = []
+    for plan in plans:
+        for r, row_pools in enumerate(plan.pools):
+            for u, pool in enumerate(row_pools):
+                seed = plan.seed_kernels[r][u]
+                k = 0 if seed is None else seed.shape[0]
+                if pool.shape[0] > k:
+                    rows.append(pool[k:])
+                    segments.append((plan, r, u, pool.shape[0] - k))
+    fused = None
+    total = 0
+    if rows:
+        stacked = np.concatenate(rows, axis=0)
+        total = stacked.shape[0]
+        fused = model.geometry_kernels(stacked, engine=engine)
+    offset = 0
+    for plan, r, u, count in segments:
+        block = fused[offset:offset + count]
+        offset += count
+        if plan.columns is not None:
+            block = block[:, plan.columns]
+        seed = plan.seed_kernels[r][u]
+        plan.pool_kernels[r][u] = (
+            block if seed is None else np.concatenate([seed, block], axis=0)
+        )
+    for plan in plans:  # pure-seed pools (candidate_count <= seeds)
+        for r, row in enumerate(plan.pool_kernels):
+            for u, kern in enumerate(row):
+                if kern is None:
+                    plan.pool_kernels[r][u] = plan.seed_kernels[r][u]
+    return total
+
+
+def solve_single_user_fused(plans: Sequence[_LocalizePlan]) -> List[LocalizationResult]:
+    """Solve a group of K=1 plans (equal sniffer arity) in one row sweep.
+
+    The single-user candidate solve is the scalar normal equation
+    ``theta = <k, t> / (<k, k> + ridge)`` clamped at zero, with the
+    residual norm as objective — per-row math identical to
+    :func:`repro.fingerprint.objective.solve_thetas_candidates` with no
+    fixed users. All plans' pools (every restart) are stacked into one
+    row sweep; each row reads only its own plan's target, so the fusion
+    is value-neutral. The per-plan top-``top_m`` ranking over all
+    restarts equals the localize harvest for K=1 (the heap keeps the
+    incumbent plus each restart's next-best alternatives, which for one
+    user is exactly the candidate ranking).
+    """
+    counts: List[int] = []
+    blocks: List[np.ndarray] = []
+    targets = []
+    for plan in plans:
+        kern = np.concatenate(
+            [plan.objective._weight_kernels(plan.pool_kernels[r][0])
+             for r in range(len(plan.pools))],
+            axis=0,
+        )
+        blocks.append(kern)
+        counts.append(kern.shape[0])
+        targets.append(plan.objective._weighted_target)
+    kernels = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
+    target_rows = np.stack(targets)  # (P, n) — equal arity by grouping
+    row_plan = np.repeat(np.arange(len(plans)), counts)
+
+    total = kernels.shape[0]
+    thetas = np.empty(total)
+    objectives = np.empty(total)
+    for start in range(0, total, _SOLVE_BLOCK_ROWS):
+        stop = min(start + _SOLVE_BLOCK_ROWS, total)
+        k_blk = kernels[start:stop]
+        t_blk = target_rows[row_plan[start:stop]]
+        num = np.einsum("ij,ij->i", k_blk, t_blk)
+        den = np.einsum("ij,ij->i", k_blk, k_blk) + _RIDGE
+        th = num / den
+        th[th < 0.0] = 0.0  # exact K=1 NNLS: infeasible => empty support
+        resid = k_blk * th[:, None]
+        resid -= t_blk
+        thetas[start:stop] = th
+        objectives[start:stop] = np.linalg.norm(resid, axis=1)
+
+    results: List[LocalizationResult] = []
+    offset = 0
+    for plan, count in zip(plans, counts):
+        objs = objectives[offset:offset + count]
+        ths = thetas[offset:offset + count]
+        positions = np.concatenate(
+            [plan.pools[r][0] for r in range(len(plan.pools))], axis=0
+        )
+        offset += count
+        order = np.argsort(objs, kind="stable")[: plan.request.top_m]
+        fits = [
+            CompositionFit(
+                positions=positions[i].reshape(1, 2).copy(),
+                thetas=np.array([ths[i]]),
+                objective=float(objs[i]),
+            )
+            for i in order
+        ]
+        results.append(LocalizationResult(fits=fits))
+    return results
+
+
+def solve_multi_user(plan: _LocalizePlan, engine=None) -> LocalizationResult:
+    """Solve one K>=2 plan: per-restart coordinate descent + harvest.
+
+    The descent consumes the plan's private search stream (restart
+    draws already happened in the plan phase), and the harvest is the
+    exact :meth:`NLSLocalizer.localize` composition heap.
+    """
+    req = plan.request
+    gen = np.random.default_rng(plan.search_seed)
+    heap: List[Tuple[float, int, np.ndarray, np.ndarray]] = []
+    counter = 0
+    for r in range(len(plan.pools)):
+        outcome = coordinate_descent(
+            plan.objective, plan.pools[r], rng=gen, sweeps=req.sweeps,
+            pool_kernels=plan.pool_kernels[r], engine=engine,
+        )
+        counter = harvest_outcome(heap, counter, outcome, plan.pools[r],
+                                  req.top_m)
+    return LocalizationResult(fits=fits_from_heap(heap, req.top_m))
+
+
+class MicroBatchScheduler:
+    """Drains the admission queue and answers envelopes in fused batches.
+
+    Parameters
+    ----------
+    localizer:
+        The service's shared :class:`NLSLocalizer` (model + field).
+    queue:
+        The :class:`AdmissionQueue` to drain.
+    metrics:
+        The service's :class:`ServerMetrics`.
+    fingerprint_map:
+        Optional shared map for seeded pools (requests opt out via
+        ``use_map=False``).
+    engine:
+        Optional :class:`repro.engine.Engine` for chunked kernel
+        evaluation inside the fused call.
+    session_lookup:
+        ``session_id -> TrackingSession | None`` resolver for
+        :class:`TrackStepRequest` work.
+    max_batch / max_wait_s:
+        The micro-batching trigger: drain when ``max_batch`` envelopes
+        are pending or ``max_wait_s`` elapsed since the first arrival,
+        whichever comes first. ``max_batch=1`` *is* per-request
+        dispatch.
+    idle_wait_s:
+        Poll bound of the empty-queue wait (also the stop-signal
+        latency).
+    """
+
+    def __init__(
+        self,
+        localizer: NLSLocalizer,
+        queue: AdmissionQueue,
+        metrics: ServerMetrics,
+        fingerprint_map=None,
+        engine=None,
+        session_lookup: Optional[Callable[[str], object]] = None,
+        max_batch: int = 32,
+        max_wait_s: float = 0.002,
+        idle_wait_s: float = 0.05,
+    ):
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0:
+            raise ConfigurationError(
+                f"max_wait_s must be >= 0, got {max_wait_s}"
+            )
+        self.localizer = localizer
+        self.queue = queue
+        self.metrics = metrics
+        self.fingerprint_map = fingerprint_map
+        self.engine = engine
+        self.session_lookup = session_lookup
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.idle_wait_s = float(idle_wait_s)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise ConfigurationError("scheduler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: Optional[float] = 30.0) -> None:
+        """Signal the loop to drain the queue and exit, then join it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        while True:
+            self.run_once()
+            if self._stop.is_set() and self.queue.depth() == 0:
+                return
+
+    # ------------------------------------------------------------------
+    def run_once(self) -> int:
+        """One drain-and-process cycle; returns envelopes answered.
+
+        Public so tests (and the CLI smoke path) can drive the
+        scheduler synchronously without the thread.
+        """
+        batch, expired = self.queue.take(
+            self.max_batch,
+            wait_timeout=self.idle_wait_s,
+            batch_wait=self.max_wait_s,
+        )
+        for item in expired:
+            self._complete_error(
+                item, ERROR_DEADLINE_EXPIRED,
+                "deadline lapsed while queued",
+            )
+        if batch:
+            self._process(batch)
+        return len(batch) + len(expired)
+
+    # ------------------------------------------------------------------
+    def _process(self, batch: List[PendingRequest]) -> None:
+        try:
+            self._process_inner(batch)
+        finally:
+            # No envelope may dangle: a scheduler bug still answers.
+            for item in batch:
+                if not item.future.done():
+                    self._complete_error(
+                        item, ERROR_INTERNAL, "scheduler failed to reply"
+                    )
+
+    def _process_inner(self, batch: List[PendingRequest]) -> None:
+        taken_at = time.monotonic()
+        live: List[PendingRequest] = []
+        for item in batch:
+            if item.expired(taken_at):
+                self._complete_error(
+                    item, ERROR_DEADLINE_EXPIRED,
+                    "deadline lapsed before evaluation",
+                )
+            else:
+                live.append(item)
+        if not live:
+            return
+        batch_size = len(live)
+
+        localize = [i for i in live if isinstance(i.request, LocalizeRequest)]
+        track = [i for i in live if isinstance(i.request, TrackStepRequest)]
+
+        try:
+            prematches = fuse_map_matches(self.fingerprint_map, localize)
+        except Exception:
+            prematches = {}  # fall back to per-request matching
+        plans: List[_LocalizePlan] = []
+        for item in localize:
+            try:
+                plans.append(
+                    plan_localize(
+                        self.localizer, self.fingerprint_map, item,
+                        prematch=prematches.get(id(item)),
+                    )
+                )
+            except Exception as exc:  # typed reply, never a dropped future
+                self._complete_error(
+                    item, ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
+                )
+        fused_rows = 0
+        if plans:
+            try:
+                fused_rows = fuse_pool_kernels(
+                    self.localizer.model, plans, engine=self.engine
+                )
+            except Exception as exc:
+                for plan in plans:
+                    self._complete_error(
+                        plan.item, ERROR_INTERNAL,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                plans = []
+        self.metrics.record_batch(batch_size, self.queue.depth(), fused_rows)
+
+        singles = [p for p in plans if p.request.user_count == 1]
+        multis = [p for p in plans if p.request.user_count > 1]
+
+        # K=1: fuse across requests of equal sniffer arity (dropout
+        # gives different column counts; grouping keeps rows rectangular).
+        groups: "OrderedDict[int, List[_LocalizePlan]]" = OrderedDict()
+        for plan in singles:
+            groups.setdefault(plan.objective.sniffer_count, []).append(plan)
+        for group in groups.values():
+            try:
+                results = solve_single_user_fused(group)
+            except Exception as exc:
+                for plan in group:
+                    self._complete_error(
+                        plan.item, ERROR_INTERNAL,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                continue
+            for plan, result in zip(group, results):
+                self._complete_localize(plan.item, result, batch_size, taken_at)
+
+        for plan in multis:
+            try:
+                result = solve_multi_user(plan, engine=self.engine)
+            except Exception as exc:
+                self._complete_error(
+                    plan.item, ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            self._complete_localize(plan.item, result, batch_size, taken_at)
+
+        self._process_track(track, batch_size, taken_at)
+
+    def _process_track(
+        self,
+        items: List[PendingRequest],
+        batch_size: int,
+        taken_at: float,
+    ) -> None:
+        """Run tracking steps, FIFO within each session."""
+        groups: "OrderedDict[str, List[PendingRequest]]" = OrderedDict()
+        for item in items:
+            groups.setdefault(item.request.session_id, []).append(item)
+        for session_id, group in groups.items():
+            session = (
+                self.session_lookup(session_id)
+                if self.session_lookup is not None
+                else None
+            )
+            if session is None:
+                for item in group:
+                    self._complete_error(
+                        item, ERROR_UNKNOWN_SESSION,
+                        f"no tracking session {session_id!r}",
+                    )
+                continue
+            for item in group:
+                try:
+                    observation = item.request.observation
+                    reason = session.validate(observation)
+                    step = session.process(observation)
+                    if step is None and reason is None:
+                        reason = session.SKIP_STEP_FAILED
+                    reply = TrackStepReply(
+                        request_id=item.request.request_id,
+                        client_id=item.request.client_id,
+                        session_id=session_id,
+                        step=step,
+                        skip_reason=reason,
+                        estimates=session.estimates(),
+                        latency_s=item.latency(),
+                        batch_size=batch_size,
+                    )
+                except Exception as exc:
+                    self._complete_error(
+                        item, ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
+                    )
+                    continue
+                item.future.set_result(reply)
+                self.metrics.record_reply(
+                    reply.latency_s, taken_at - item.submitted_at
+                )
+
+    # ------------------------------------------------------------------
+    def _complete_localize(
+        self,
+        item: PendingRequest,
+        result: LocalizationResult,
+        batch_size: int,
+        taken_at: float,
+    ) -> None:
+        reply = LocalizeReply(
+            request_id=item.request.request_id,
+            client_id=item.request.client_id,
+            result=result,
+            latency_s=item.latency(),
+            batch_size=batch_size,
+        )
+        item.future.set_result(reply)
+        self.metrics.record_reply(reply.latency_s, taken_at - item.submitted_at)
+
+    def _complete_error(
+        self, item: PendingRequest, code: str, message: str
+    ) -> None:
+        latency = item.latency()
+        item.future.set_result(
+            ErrorReply(
+                request_id=item.request.request_id,
+                client_id=item.request.client_id,
+                code=code,
+                message=message,
+                latency_s=latency,
+            )
+        )
+        self.metrics.record_error(code, latency)

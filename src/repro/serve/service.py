@@ -1,0 +1,336 @@
+"""The localization service: one deployment, many logical clients.
+
+:class:`LocalizationService` ties the serve layer together around
+*shared* heavyweight state — one :class:`~repro.fingerprint.nls.
+NLSLocalizer` (flux model), one optional fingerprint map (via the
+:class:`~repro.fpmap.registry.MapRegistry` so concurrent services of
+the same deployment share a single build), one optional engine pool —
+behind a bounded admission queue and one micro-batching scheduler
+thread. Clients call :meth:`submit` with a
+:class:`~repro.serve.requests.LocalizeRequest` or
+:class:`~repro.serve.requests.TrackStepRequest` and get a
+``concurrent.futures.Future`` that always resolves to exactly one
+reply: success, or a typed :class:`~repro.serve.requests.ErrorReply`
+(rejected, expired, shutdown, crashed) — never an unresolved future,
+never a silent drop.
+
+Shutdown is *drain-and-checkpoint*: :meth:`stop` closes admission
+(late offers answer ``shutdown``), lets the scheduler drain what was
+already admitted, then snapshots every tracking session with the
+streaming layer's checkpoint format so a restarted service can
+:meth:`resume_session` exactly where each trajectory left off.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fingerprint.nls import NLSLocalizer
+from repro.serve.admission import (
+    ADMITTED,
+    CLOSED,
+    REJECTED,
+    TIMED_OUT,
+    AdmissionQueue,
+    PendingRequest,
+)
+from repro.serve.metrics import ServerMetrics
+from repro.serve.requests import (
+    ERROR_ADMISSION_TIMEOUT,
+    ERROR_REJECTED,
+    ERROR_SHUTDOWN,
+    ErrorReply,
+    LocalizeRequest,
+    TrackStepRequest,
+)
+from repro.serve.scheduler import MicroBatchScheduler
+from repro.smc.tracker import SequentialMonteCarloTracker
+from repro.stream.checkpoint import load_checkpoint, save_checkpoint
+from repro.stream.session import TrackingSession
+
+_OUTCOME_CODES = {
+    REJECTED: ERROR_REJECTED,
+    TIMED_OUT: ERROR_ADMISSION_TIMEOUT,
+    CLOSED: ERROR_SHUTDOWN,
+}
+
+
+class LocalizationService:
+    """Batched request/reply localization and tracking for one deployment.
+
+    Parameters
+    ----------
+    field / sniffer_positions / d_floor:
+        The deployment the service answers for.
+    engine:
+        Optional :class:`repro.engine.Engine` shared by every batch's
+        fused kernel call.
+    fingerprint_map:
+        Optional prebuilt map. Registered with ``registry`` when one is
+        given so other services of the same deployment reuse it.
+    registry / map_resolution:
+        Without a prebuilt map, setting ``map_resolution`` builds (or
+        fetches) the deployment's map from ``registry`` — the shared
+        build path. ``registry=None`` with a resolution uses a private
+        build.
+    max_batch / max_wait_s:
+        Micro-batching trigger (``max_batch=1`` is per-request
+        dispatch; the benchmark's baseline).
+    queue_capacity / admission_policy / block_timeout_s / per_client_limit:
+        Admission control (see :class:`~repro.serve.admission.
+        AdmissionQueue`).
+    metrics:
+        Optional externally owned :class:`ServerMetrics`.
+    """
+
+    def __init__(
+        self,
+        field,
+        sniffer_positions: np.ndarray,
+        d_floor: float = 1.0,
+        engine=None,
+        fingerprint_map=None,
+        registry=None,
+        map_resolution: Optional[float] = None,
+        max_batch: int = 32,
+        max_wait_s: float = 0.002,
+        queue_capacity: int = 512,
+        admission_policy: str = "reject",
+        block_timeout_s: Optional[float] = 5.0,
+        per_client_limit: Optional[int] = None,
+        metrics: Optional[ServerMetrics] = None,
+        idle_wait_s: float = 0.05,
+    ):
+        self.localizer = NLSLocalizer(field, sniffer_positions, d_floor=d_floor)
+        self.engine = engine
+        if fingerprint_map is None and map_resolution is not None:
+            if registry is not None:
+                fingerprint_map = registry.get_or_build(
+                    field, self.localizer.model.node_positions,
+                    resolution=map_resolution, d_floor=d_floor,
+                )
+            else:
+                from repro.fpmap import build_fingerprint_map
+
+                fingerprint_map = build_fingerprint_map(
+                    field, self.localizer.model.node_positions,
+                    resolution=map_resolution, d_floor=d_floor,
+                    engine=engine,
+                )
+        elif fingerprint_map is not None and registry is not None:
+            registry.register(fingerprint_map)
+        if fingerprint_map is not None:
+            # Refuse a wrong-deployment map once, up front — requests
+            # then trust it unconditionally.
+            fingerprint_map.validate_against(
+                field, self.localizer.model.node_positions, d_floor
+            )
+        self.fingerprint_map = fingerprint_map
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.queue = AdmissionQueue(
+            capacity=queue_capacity,
+            policy=admission_policy,
+            block_timeout_s=block_timeout_s,
+            per_client_limit=per_client_limit,
+        )
+        self.scheduler = MicroBatchScheduler(
+            localizer=self.localizer,
+            queue=self.queue,
+            metrics=self.metrics,
+            fingerprint_map=fingerprint_map,
+            engine=engine,
+            session_lookup=self._session_for,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            idle_wait_s=idle_wait_s,
+        )
+        self._sessions: Dict[str, TrackingSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> "LocalizationService":
+        if self._started:
+            raise ConfigurationError("service already started")
+        self._started = True
+        self.scheduler.start()
+        return self
+
+    def stop(
+        self,
+        drain: bool = True,
+        checkpoint_dir: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Shut down: close admission, drain (or flush), checkpoint.
+
+        Parameters
+        ----------
+        drain:
+            ``True`` answers everything already admitted before the
+            scheduler exits; ``False`` flushes the queue with
+            ``shutdown`` error replies instead.
+        checkpoint_dir:
+            When set, every tracking session is saved there as
+            ``<session_id>.ckpt.npz`` (the streaming checkpoint format)
+            after the scheduler stops — the drain-and-checkpoint
+            contract.
+
+        Returns a summary dict: ``flushed`` (envelopes answered with
+        shutdown errors) and ``checkpoints`` (paths written, by
+        session id).
+        """
+        if self._stopped:
+            return {"flushed": 0, "checkpoints": {}}
+        self._stopped = True
+        self.queue.close()
+        flushed = 0
+        if not drain:
+            for item in self.queue.drain_all():
+                self._complete_shutdown(item)
+                flushed += 1
+        if self._started:
+            self.scheduler.stop()
+        # Anything that raced admission after close() was answered by
+        # submit(); anything still queued (scheduler died) flushes here.
+        for item in self.queue.drain_all():
+            self._complete_shutdown(item)
+            flushed += 1
+        checkpoints: Dict[str, str] = {}
+        if checkpoint_dir is not None:
+            directory = Path(checkpoint_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            with self._sessions_lock:
+                sessions = dict(self._sessions)
+            for session_id, session in sessions.items():
+                path = directory / f"{session_id}.ckpt.npz"
+                checkpoints[session_id] = str(save_checkpoint(session, path))
+        return {"flushed": flushed, "checkpoints": checkpoints}
+
+    def __enter__(self) -> "LocalizationService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Sessions.
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        session_id: str,
+        user_count: int,
+        config=None,
+        rng=None,
+        truth=None,
+    ) -> TrackingSession:
+        """Create and register a tracking session on this deployment.
+
+        The tracker shares the service's fingerprint map but runs with
+        ``engine=None`` — tracking steps execute on the scheduler
+        thread, where the service engine may already be fanning out
+        kernel work (the engine nesting rule).
+        """
+        tracker = SequentialMonteCarloTracker(
+            self.localizer.field,
+            self.localizer.model.node_positions,
+            user_count,
+            config=config,
+            rng=rng,
+            fingerprint_map=self.fingerprint_map,
+        )
+        session = TrackingSession(session_id, tracker, truth=truth)
+        return self.attach_session(session)
+
+    def attach_session(self, session: TrackingSession) -> TrackingSession:
+        with self._sessions_lock:
+            if session.session_id in self._sessions:
+                raise ConfigurationError(
+                    f"session {session.session_id!r} already registered"
+                )
+            self._sessions[session.session_id] = session
+        return session
+
+    def resume_session(self, path: str, truth=None) -> TrackingSession:
+        """Attach a session restored from a drain checkpoint."""
+        session = load_checkpoint(
+            path, truth=truth, fingerprint_map=self.fingerprint_map
+        )
+        return self.attach_session(session)
+
+    def close_session(self, session_id: str) -> TrackingSession:
+        with self._sessions_lock:
+            if session_id not in self._sessions:
+                raise ConfigurationError(f"unknown session {session_id!r}")
+            return self._sessions.pop(session_id)
+
+    @property
+    def session_ids(self) -> List[str]:
+        with self._sessions_lock:
+            return list(self._sessions)
+
+    def _session_for(self, session_id: str) -> Optional[TrackingSession]:
+        with self._sessions_lock:
+            return self._sessions.get(session_id)
+
+    # ------------------------------------------------------------------
+    # Request path.
+    # ------------------------------------------------------------------
+    def submit(self, request):
+        """Admit one request; returns a Future resolving to its reply.
+
+        The future *always* resolves — admission refusals resolve it
+        immediately with the matching typed error reply.
+        """
+        if not isinstance(request, (LocalizeRequest, TrackStepRequest)):
+            raise ConfigurationError(
+                f"request must be a LocalizeRequest or TrackStepRequest, "
+                f"got {type(request).__name__}"
+            )
+        item = PendingRequest.wrap(request)
+        self.metrics.record_submit()
+        outcome = self.queue.offer(item)
+        if outcome == ADMITTED:
+            return item.future
+        code = _OUTCOME_CODES[outcome]
+        if outcome in (REJECTED, TIMED_OUT):
+            self.metrics.record_rejection(timed_out=outcome == TIMED_OUT)
+        latency = item.latency()
+        item.future.set_result(
+            ErrorReply(
+                request_id=request.request_id,
+                client_id=request.client_id,
+                code=code,
+                message=f"admission {outcome}",
+                latency_s=latency,
+            )
+        )
+        self.metrics.record_error(code, latency)
+        return item.future
+
+    def call(self, request, timeout: Optional[float] = None):
+        """Blocking convenience: submit, wait, raise on error replies."""
+        reply = self.submit(request).result(timeout=timeout)
+        if not reply.ok:
+            raise reply.to_exception()
+        return reply
+
+    def _complete_shutdown(self, item: PendingRequest) -> None:
+        latency = item.latency()
+        item.future.set_result(
+            ErrorReply(
+                request_id=item.request.request_id,
+                client_id=item.request.client_id,
+                code=ERROR_SHUTDOWN,
+                message="service stopped before evaluation",
+                latency_s=latency,
+            )
+        )
+        self.metrics.record_error(ERROR_SHUTDOWN, latency)

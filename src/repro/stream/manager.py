@@ -13,7 +13,12 @@ bound memory under overload:
     shedding stale flux is strictly better than unbounded lag.
 ``block``
     ``submit`` drains the queue synchronously before admitting the new
-    window. Nothing is lost; the producer pays the latency.
+    window. Nothing is lost; the producer pays the latency. A timeout
+    (``block_timeout`` / ``submit(..., timeout=)``) bounds that wait:
+    when the queue is still full after it elapses — drains racing
+    other producers, or sessions too slow to keep up — ``submit``
+    raises :class:`~repro.errors.BackpressureTimeout` instead of
+    blocking forever.
 
 Sessions are single-threaded internally (the tracker mutates shared
 sample state); the fan-out parallelism is *across* sessions, with
@@ -23,11 +28,12 @@ per-session FIFO order preserved.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.errors import ConfigurationError, StreamError
+from repro.errors import BackpressureTimeout, ConfigurationError, StreamError
 from repro.stream.metrics import merge_metrics
 from repro.stream.session import TrackingSession
 from repro.traffic.measurement import FluxObservation
@@ -56,6 +62,11 @@ class SessionManager:
         ``workers`` path (which is kept for compatibility). Per the
         engine nesting rule, sessions drained through an engine must
         not hand that same engine to their own trackers.
+    block_timeout:
+        Default bound (seconds) on how long a block-policy
+        :meth:`submit` may spend draining a full queue before raising
+        :class:`~repro.errors.BackpressureTimeout`. ``None`` (default)
+        keeps the historical block-forever behavior.
     """
 
     def __init__(
@@ -64,6 +75,7 @@ class SessionManager:
         policy: str = "drop_oldest",
         workers: int = 0,
         engine=None,
+        block_timeout: Optional[float] = None,
     ):
         if queue_size < 1:
             raise ConfigurationError(
@@ -75,10 +87,15 @@ class SessionManager:
             )
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        if block_timeout is not None and block_timeout <= 0:
+            raise ConfigurationError(
+                f"block_timeout must be positive, got {block_timeout}"
+            )
         self.queue_size = int(queue_size)
         self.policy = policy
         self.workers = int(workers)
         self.engine = engine
+        self.block_timeout = block_timeout
         self._sessions: "OrderedDict[str, TrackingSession]" = OrderedDict()
         self._queue: Deque[Tuple[str, FluxObservation]] = deque()
         self._lock = threading.Lock()
@@ -121,12 +138,27 @@ class SessionManager:
             return len(self._queue)
 
     # ------------------------------------------------------------------
-    def submit(self, session_id: str, observation: FluxObservation) -> bool:
+    def submit(
+        self,
+        session_id: str,
+        observation: FluxObservation,
+        timeout: Optional[float] = None,
+    ) -> bool:
         """Enqueue one window for a session.
 
         Returns ``False`` when the window (or an older one, under
         ``drop_oldest``) was shed by backpressure; ``True`` when the
         queue admitted it without loss.
+
+        Parameters
+        ----------
+        timeout:
+            Block-policy only: maximum seconds to spend draining a full
+            queue before giving up with
+            :class:`~repro.errors.BackpressureTimeout` (overrides the
+            manager-level ``block_timeout``; ``None`` falls back to it,
+            and a ``None`` manager default waits indefinitely — the
+            pre-timeout behavior).
         """
         if self._closed:
             raise StreamError("manager is closed")
@@ -141,8 +173,22 @@ class SessionManager:
                 self._sessions[victim_id].metrics.record_drop()
                 shed = True
         if self.policy == "block":
+            effective = self.block_timeout if timeout is None else timeout
+            deadline = (
+                None if effective is None else time.monotonic() + effective
+            )
             while self.queued() >= self.queue_size:
                 self.drain()
+                if (
+                    deadline is not None
+                    and self.queued() >= self.queue_size
+                    and time.monotonic() >= deadline
+                ):
+                    raise BackpressureTimeout(
+                        f"queue still holds {self.queued()} windows "
+                        f"(capacity {self.queue_size}) after blocking "
+                        f"{effective:g}s for session {session_id!r}"
+                    )
         with self._lock:
             self._queue.append((session_id, observation))
         return not shed

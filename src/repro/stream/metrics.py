@@ -15,7 +15,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.metrics import LatencyReservoir
 
 
 class StreamMetrics:
@@ -25,23 +25,22 @@ class StreamMetrics:
     ----------
     latency_capacity:
         Maximum number of per-window step latencies retained (ring
-        buffer). Quantiles are computed over the retained window, so a
-        long-running session reports *recent* latency, not lifetime.
+        buffer, see :class:`repro.metrics.LatencyReservoir`). Quantiles
+        are computed over the retained window, so a long-running
+        session reports *recent* latency, not lifetime.
     """
 
     def __init__(self, latency_capacity: int = 4096):
-        if latency_capacity < 1:
-            raise ConfigurationError(
-                f"latency_capacity must be >= 1, got {latency_capacity}"
-            )
-        self.latency_capacity = int(latency_capacity)
         self.windows_processed = 0
         self.windows_skipped: Counter = Counter()
         self.windows_dropped = 0
-        self._latencies = np.empty(self.latency_capacity, dtype=float)
-        self._latency_count = 0  # total ever recorded
+        self._latencies = LatencyReservoir(latency_capacity)
         self._error_sum = 0.0
         self._error_count = 0
+
+    @property
+    def latency_capacity(self) -> int:
+        return self._latencies.capacity
 
     # ------------------------------------------------------------------
     def record_window(
@@ -49,10 +48,7 @@ class StreamMetrics:
     ) -> None:
         """Account one successfully processed window."""
         self.windows_processed += 1
-        self._latencies[self._latency_count % self.latency_capacity] = float(
-            latency_seconds
-        )
-        self._latency_count += 1
+        self._latencies.record(latency_seconds)
         if mean_error is not None and np.isfinite(mean_error):
             self._error_sum += float(mean_error)
             self._error_count += 1
@@ -72,14 +68,7 @@ class StreamMetrics:
 
     def latency_quantiles(self) -> Dict[str, float]:
         """p50/p95 step latency (seconds) over the retained reservoir."""
-        n = min(self._latency_count, self.latency_capacity)
-        if n == 0:
-            return {"p50": float("nan"), "p95": float("nan")}
-        window = self._latencies[:n]
-        return {
-            "p50": float(np.quantile(window, 0.50)),
-            "p95": float(np.quantile(window, 0.95)),
-        }
+        return self._latencies.quantiles((0.50, 0.95))
 
     def mean_error(self) -> float:
         """Mean per-window tracking error when ground truth was attached."""

@@ -296,3 +296,56 @@ class TestCliPlanConsistency:
             )
         }
         assert plan_ids <= set(figure_action.choices)
+
+
+class TestServe:
+    def test_serve_defaults_parse(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.clients == 8
+        assert args.max_batch == 32
+        assert args.policy == "reject"
+        assert args.deadline_ms is None
+        assert args.track_sessions == 0
+
+    def test_serve_load_run(self, capsys):
+        rc = main(
+            [
+                "--seed", "3", "serve", *_SMALL, "--clients", "3",
+                "--requests", "3", "--candidates", "32",
+                "--percentage", "20", "--max-batch", "8",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving 3 localize clients x 3 requests" in out
+        assert "9 ok, 0 errors" in out
+        assert '"replies_ok": 9' in out
+
+    def test_serve_with_map_tracking_and_checkpoints(
+        self, tmp_path, capsys
+    ):
+        rc = main(
+            [
+                "--seed", "3", "serve", *_SMALL, "--clients", "2",
+                "--requests", "3", "--candidates", "32",
+                "--map-resolution", "2.0", "--track-sessions", "1",
+                "--checkpoint-dir", str(tmp_path),
+                "--metrics-out", str(tmp_path / "metrics.json"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(map-seeded)" in out
+        assert "checkpointed track-0" in out
+        assert (tmp_path / "track-0.ckpt.npz").exists()
+        import json as _json
+
+        payload = _json.loads((tmp_path / "metrics.json").read_text())
+        assert payload["replies_ok"] == 9  # 2x3 localize + 3 track steps
+
+    def test_serve_rejects_bad_map(self, tmp_path, capsys):
+        bogus = tmp_path / "nope.npz"
+        np.savez(bogus, junk=np.zeros(3))
+        rc = main(["serve", *_SMALL, "--map", str(bogus)])
+        assert rc == 1
+        assert "cannot use map" in capsys.readouterr().err

@@ -1,0 +1,122 @@
+"""MapRegistry under concurrent access: one build, no storms.
+
+The serve layer shares one registry across services and sessions, so
+concurrent ``get_or_build`` callers of the same deployment must
+coalesce onto a single build (no rebuild storm), invalidation must
+trigger exactly one rebuild, and mixed get/build/invalidate churn must
+neither deadlock nor hand out a half-built map.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.fpmap import MapRegistry
+from repro.geometry import RectangularField
+from repro.network import build_network, sample_sniffers_percentage
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    net = build_network(
+        field=RectangularField(8, 8), node_count=64, radius=2.0, rng=9
+    )
+    sniffers = sample_sniffers_percentage(net, 25, rng=1)
+    return net.field, net.positions[sniffers]
+
+
+def _hammer(threads, target):
+    """Start all threads behind a barrier so they race for real."""
+    barrier = threading.Barrier(threads)
+    errors = []
+
+    def wrapped(index):
+        barrier.wait()
+        try:
+            target(index)
+        except Exception as exc:  # surfaced below, not swallowed
+            errors.append(exc)
+
+    pool = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(threads)
+    ]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join(timeout=60)
+    assert not any(t.is_alive() for t in pool), "registry deadlocked"
+    assert not errors, errors
+
+
+class TestConcurrentBuilds:
+    def test_racing_callers_share_one_build(self, deployment):
+        field, sniffer_positions = deployment
+        registry = MapRegistry()
+        maps = [None] * 8
+
+        def build(index):
+            maps[index] = registry.get_or_build(
+                field, sniffer_positions, resolution=2.0
+            )
+
+        _hammer(8, build)
+        assert registry.builds == 1
+        assert all(fmap is maps[0] for fmap in maps)
+
+    def test_invalidate_triggers_exactly_one_rebuild(self, deployment):
+        field, sniffer_positions = deployment
+        registry = MapRegistry()
+        first = registry.get_or_build(field, sniffer_positions, resolution=2.0)
+        assert registry.invalidate(first.deployment)
+        maps = [None] * 8
+
+        def rebuild(index):
+            maps[index] = registry.get_or_build(
+                field, sniffer_positions, resolution=2.0
+            )
+
+        _hammer(8, rebuild)
+        assert registry.builds == 2
+        assert all(fmap is maps[0] for fmap in maps)
+        assert maps[0] is not first
+
+    def test_distinct_deployments_build_independently(self, deployment):
+        field, sniffer_positions = deployment
+        registry = MapRegistry(capacity=8)
+
+        def build(index):
+            # Two distinct sniffer sets interleaved across threads.
+            subset = sniffer_positions[: len(sniffer_positions) - index % 2]
+            registry.get_or_build(field, subset, resolution=2.0)
+
+        _hammer(6, build)
+        assert registry.builds == 2
+        assert len(registry) == 2
+
+    def test_mixed_churn_no_deadlock_no_partial_maps(self, deployment):
+        field, sniffer_positions = deployment
+        registry = MapRegistry(capacity=2)
+        seen = []
+        lock = threading.Lock()
+
+        def churn(index):
+            for round_number in range(10):
+                fmap = registry.get_or_build(
+                    field, sniffer_positions, resolution=2.0
+                )
+                # A handed-out map is always fully built and queryable.
+                assert fmap.cell_count > 0
+                match = fmap.match(
+                    np.abs(fmap.signatures[0]) + 0.1, k=2
+                )
+                assert match.indices.shape == (2,)
+                with lock:
+                    seen.append(fmap)
+                if index == 0 and round_number % 3 == 0:
+                    registry.invalidate(fmap.deployment)
+
+        _hammer(4, churn)
+        assert registry.builds >= 1
+        # Every map anyone observed answers for the same deployment.
+        assert len({fmap.deployment for fmap in seen}) == 1

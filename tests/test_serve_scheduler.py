@@ -1,0 +1,249 @@
+"""Micro-batching scheduler: fused evaluation is invisible to results.
+
+The load-bearing contract: a request's reply is bitwise-identical
+(float64) whether it was solved alone or fused into a batch with
+arbitrary other requests — per-request dispatch *is* the same
+scheduler with ``max_batch=1``. Plus the failure surface: expired and
+crashed work always gets a typed error reply.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import RectangularField
+from repro.network import build_network, sample_sniffers_percentage
+from repro.serve import (
+    ERROR_DEADLINE_EXPIRED,
+    ERROR_INTERNAL,
+    LocalizationService,
+    LocalizeRequest,
+)
+from repro.traffic import MeasurementModel, simulate_flux
+from repro.traffic.measurement import FluxObservation
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    net = build_network(
+        field=RectangularField(10, 10), node_count=100, radius=2.0, rng=5
+    )
+    gen = np.random.default_rng(2)
+    sniffers = sample_sniffers_percentage(net, 20, rng=gen)
+    from repro.fpmap import build_fingerprint_map
+
+    fmap = build_fingerprint_map(net.field, net.positions[sniffers],
+                                 resolution=2.0)
+    return net, sniffers, fmap
+
+
+def _observations(net, sniffers, count, users=1, seed=0):
+    gen = np.random.default_rng(seed)
+    measure = MeasurementModel(net, sniffers, smooth=True, rng=gen)
+    out = []
+    for _ in range(count):
+        truth = net.field.sample_uniform(users, gen)
+        flux = simulate_flux(
+            net, list(truth), list(gen.uniform(1.0, 3.0, users)), rng=gen
+        )
+        out.append(measure.observe(flux))
+    return out
+
+
+def _mixed_requests(net, sniffers):
+    """K=1/K=2, map/no-map, clean/dropout — one of everything."""
+    requests = []
+    for i, obs in enumerate(_observations(net, sniffers, 4, users=1, seed=10)):
+        requests.append(LocalizeRequest(
+            request_id=f"k1-map-{i}", client_id=f"c{i % 2}", observation=obs,
+            candidate_count=32, seed=100 + i,
+        ))
+    for i, obs in enumerate(_observations(net, sniffers, 2, users=1, seed=11)):
+        requests.append(LocalizeRequest(
+            request_id=f"k1-uniform-{i}", client_id="c2", observation=obs,
+            candidate_count=32, seed=200 + i, use_map=False,
+        ))
+    for i, obs in enumerate(_observations(net, sniffers, 2, users=2, seed=12)):
+        requests.append(LocalizeRequest(
+            request_id=f"k2-{i}", client_id="c3", observation=obs,
+            user_count=2, candidate_count=32, sweeps=2, seed=300 + i,
+        ))
+    dropout = _observations(net, sniffers, 1, users=1, seed=13)[0]
+    values = dropout.values.copy()
+    values[:3] = np.nan
+    requests.append(LocalizeRequest(
+        request_id="k1-dropout", client_id="c4",
+        observation=FluxObservation(
+            time=dropout.time, sniffers=dropout.sniffers, values=values
+        ),
+        candidate_count=32, seed=400,
+    ))
+    return requests
+
+
+def _service(net, sniffers, fmap, max_batch):
+    return LocalizationService(
+        net.field,
+        net.positions[sniffers],
+        fingerprint_map=fmap,
+        max_batch=max_batch,
+        max_wait_s=0.002,
+    )
+
+
+def _replies(service, requests):
+    """Submit everything *before* the scheduler starts: max_batch>=len
+    then provably evaluates one fused batch."""
+    futures = [service.submit(r) for r in requests]
+    with service:
+        return {f.result().request_id: f.result() for f in futures}
+
+
+def _payload(reply):
+    return [
+        (fit.positions.tobytes(), fit.thetas.tobytes(), float(fit.objective))
+        for fit in reply.result.fits
+    ]
+
+
+class TestBitwiseIdentity:
+    def test_batched_equals_per_request(self, scenario):
+        net, sniffers, fmap = scenario
+        requests = _mixed_requests(net, sniffers)
+        batched = _replies(_service(net, sniffers, fmap, 16), requests)
+        single = _replies(_service(net, sniffers, fmap, 1), requests)
+        assert set(batched) == {r.request_id for r in requests}
+        for request_id in batched:
+            assert batched[request_id].ok, request_id
+            assert _payload(batched[request_id]) == _payload(
+                single[request_id]
+            ), request_id
+
+    def test_batch_actually_formed(self, scenario):
+        net, sniffers, fmap = scenario
+        requests = _mixed_requests(net, sniffers)
+        service = _service(net, sniffers, fmap, 16)
+        _replies(service, requests)
+        sizes = service.metrics.batch_sizes
+        assert max(sizes) > 1  # fusion really happened
+
+    def test_composition_independence(self, scenario):
+        """Same request, different batch mates -> same bits."""
+        net, sniffers, fmap = scenario
+        probe = _mixed_requests(net, sniffers)[0]
+        mates = _mixed_requests(net, sniffers)[4:]
+        alone = _replies(_service(net, sniffers, fmap, 16), [probe])
+        crowded = _replies(_service(net, sniffers, fmap, 16), [probe] + mates)
+        assert _payload(alone[probe.request_id]) == _payload(
+            crowded[probe.request_id]
+        )
+
+
+class TestTypedFailures:
+    def test_deadline_expired_requests_get_typed_replies(self, scenario):
+        net, sniffers, fmap = scenario
+        requests = [
+            LocalizeRequest(
+                request_id=f"late-{i}", client_id="c0",
+                observation=obs, candidate_count=32, deadline_s=0.0,
+            )
+            for i, obs in enumerate(_observations(net, sniffers, 3, seed=20))
+        ]
+        replies = _replies(_service(net, sniffers, fmap, 16), requests)
+        assert len(replies) == len(requests)  # never silently dropped
+        for reply in replies.values():
+            assert not reply.ok
+            assert reply.code == ERROR_DEADLINE_EXPIRED
+
+    def test_unplannable_request_gets_internal_error(self, scenario):
+        net, sniffers, fmap = scenario
+        broken = LocalizeRequest(
+            request_id="broken", client_id="c0",
+            observation=FluxObservation(
+                time=0.0, sniffers=np.arange(3), values=np.ones(3)
+            ),
+            candidate_count=32,
+        )
+        good = _mixed_requests(net, sniffers)[0]
+        replies = _replies(_service(net, sniffers, fmap, 16), [broken, good])
+        assert replies["broken"].code == ERROR_INTERNAL
+        assert replies[good.request_id].ok  # batch mates unaffected
+
+    def test_expiry_counted_in_metrics(self, scenario):
+        net, sniffers, fmap = scenario
+        obs = _observations(net, sniffers, 1, seed=21)[0]
+        service = _service(net, sniffers, fmap, 4)
+        _replies(service, [LocalizeRequest(
+            request_id="late", client_id="c0", observation=obs,
+            candidate_count=32, deadline_s=0.0,
+        )])
+        assert service.metrics.deadline_expiries == 1
+
+
+class TestFusedMapMatching:
+    def test_match_many_is_batch_size_invariant(self, scenario):
+        """An observation's matches are bitwise-independent of its
+        batch mates — the property the serve bitwise contract rests on
+        (both serve modes route through match_many)."""
+        net, sniffers, fmap = scenario
+        observations = _observations(net, sniffers, 5, seed=30)
+        values = np.stack([obs.values for obs in observations])
+        fused = fmap.match_many(values, [4] * len(observations))
+        for row, match in zip(values, fused):
+            alone = fmap.match_many(row[None, :], [4])[0]
+            assert np.array_equal(match.indices, alone.indices)
+            assert np.array_equal(match.thetas, alone.thetas)
+            assert np.array_equal(match.residuals, alone.residuals)
+            assert np.array_equal(match.positions, alone.positions)
+
+    def test_match_many_agrees_with_match(self, scenario):
+        """Same math as the single-observation path; only the BLAS
+        kernel differs (einsum vs gemv), so agreement is allclose, not
+        bitwise."""
+        net, sniffers, fmap = scenario
+        observations = _observations(net, sniffers, 5, seed=31)
+        values = np.stack([obs.values for obs in observations])
+        fused = fmap.match_many(values, [4] * len(observations))
+        for row, match in zip(values, fused):
+            alone = fmap.match(row, k=4)
+            assert np.array_equal(match.indices, alone.indices)
+            np.testing.assert_allclose(
+                match.thetas, alone.thetas, rtol=1e-9, atol=1e-9
+            )
+            np.testing.assert_allclose(
+                match.residuals, alone.residuals, rtol=1e-9, atol=1e-9
+            )
+
+    def test_index_batch_is_column_local(self, scenario):
+        """Each target's scores are bitwise-identical whether computed
+        in a batch of one or sliced out of a larger batch (einsum
+        reduces per output element), and agree with the gemv-based
+        single path to rounding."""
+        _, _, fmap = scenario
+        targets = np.abs(fmap.signatures[:4]) + 0.1
+        many = fmap.index.knn_by_signature_batch(targets, [6] * 4)
+        for b in range(4):
+            one = fmap.index.knn_by_signature_batch(targets[b:b + 1], [6])[0]
+            for fused, alone in zip(many[b], one):
+                assert np.array_equal(fused, alone)
+            idx_s, th_s, res_s = fmap.index.knn_by_signature(targets[b], 6)
+            assert np.array_equal(many[b][0], idx_s)
+            np.testing.assert_allclose(many[b][1], th_s, rtol=1e-9, atol=1e-9)
+            np.testing.assert_allclose(many[b][2], res_s, rtol=1e-9, atol=1e-9)
+
+    def test_signature_norm_cache_changes_no_bits(self, scenario):
+        _, _, fmap = scenario
+        target = np.abs(fmap.signatures[0]) + 0.5
+        cold = fmap.index.knn_by_signature(target, 5)
+        assert fmap.index._sig_norms is not None  # cache populated
+        warm = fmap.index.knn_by_signature(target, 5)
+        for a, b in zip(cold, warm):
+            assert np.array_equal(a, b)
+
+    def test_match_many_rejects_nonfinite(self, scenario):
+        from repro.errors import ConfigurationError
+
+        _, _, fmap = scenario
+        values = np.ones((2, fmap.sniffer_count))
+        values[1, 0] = np.nan
+        with pytest.raises(ConfigurationError):
+            fmap.match_many(values, [3, 3])

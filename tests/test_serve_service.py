@@ -1,0 +1,299 @@
+"""LocalizationService end to end: many clients, one deployment.
+
+Covers the reply-delivery invariant under real thread concurrency
+(every submitted request gets exactly one reply, none lost or
+duplicated), session streaming equivalence with the local tracking
+loop, drain-and-checkpoint shutdown with resume, the blocking
+``call`` API, and the metrics HTTP endpoint.
+"""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DeadlineExpired
+from repro.fpmap import MapRegistry, build_fingerprint_map
+from repro.geometry import RectangularField
+from repro.network import build_network, sample_sniffers_percentage
+from repro.serve import (
+    ERROR_SHUTDOWN,
+    ERROR_UNKNOWN_SESSION,
+    LocalizationService,
+    LocalizeRequest,
+    MetricsServer,
+    TrackStepRequest,
+)
+from repro.smc import SequentialMonteCarloTracker, TrackerConfig
+from repro.stream import SyntheticLiveSource, TrackingSession
+from repro.traffic import MeasurementModel, simulate_flux
+
+_CFG = TrackerConfig(prediction_count=100, keep_count=5)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    net = build_network(
+        field=RectangularField(10, 10), node_count=100, radius=2.0, rng=5
+    )
+    sniffers = sample_sniffers_percentage(net, 20, rng=2)
+    fmap = build_fingerprint_map(net.field, net.positions[sniffers],
+                                 resolution=2.0)
+    return net, sniffers, fmap
+
+
+def _service(scenario, **kwargs):
+    net, sniffers, fmap = scenario
+    kwargs.setdefault("fingerprint_map", fmap)
+    kwargs.setdefault("max_batch", 8)
+    kwargs.setdefault("max_wait_s", 0.002)
+    return LocalizationService(net.field, net.positions[sniffers], **kwargs)
+
+
+def _requests(scenario, clients, per_client, seed=0):
+    net, sniffers, _ = scenario
+    gen = np.random.default_rng(seed)
+    measure = MeasurementModel(net, sniffers, smooth=True, rng=gen)
+    work = []
+    for c in range(clients):
+        batch = []
+        for r in range(per_client):
+            truth = net.field.sample_uniform(1, gen)
+            flux = simulate_flux(
+                net, list(truth), [float(gen.uniform(1.0, 3.0))], rng=gen
+            )
+            batch.append(LocalizeRequest(
+                request_id=f"c{c}-r{r}", client_id=f"client-{c}",
+                observation=measure.observe(flux), candidate_count=32,
+                seed=int(gen.integers(2**31)),
+            ))
+        work.append(batch)
+    return work
+
+
+class TestConcurrentClients:
+    def test_no_lost_or_duplicated_replies(self, scenario):
+        work = _requests(scenario, clients=4, per_client=8)
+        replies = []
+        lock = threading.Lock()
+
+        def client(batch):
+            mine = [None] * len(batch)
+            for i, request in enumerate(batch):
+                mine[i] = service.submit(request).result(timeout=30)
+            with lock:
+                replies.extend(mine)
+
+        with _service(scenario) as service:
+            threads = [
+                threading.Thread(target=client, args=(batch,))
+                for batch in work
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        submitted = {r.request_id for batch in work for r in batch}
+        returned = [r.request_id for r in replies]
+        assert len(returned) == len(submitted) == 32
+        assert set(returned) == submitted  # none lost
+        assert len(set(returned)) == len(returned)  # none duplicated
+        assert all(r.ok for r in replies)
+        assert service.metrics.replies_ok == 32
+
+    def test_reply_routing_matches_request(self, scenario):
+        work = _requests(scenario, clients=2, per_client=2)
+        with _service(scenario) as service:
+            for batch in work:
+                for request in batch:
+                    reply = service.submit(request).result(timeout=30)
+                    assert reply.request_id == request.request_id
+                    assert reply.client_id == request.client_id
+
+
+class TestTrackingSessions:
+    def _windows(self, scenario, rounds=5):
+        net, sniffers, _ = scenario
+        return list(SyntheticLiveSource(
+            net, sniffers, user_count=2, rounds=rounds, rng=3
+        ))
+
+    def test_streamed_session_matches_local_loop(self, scenario):
+        net, sniffers, fmap = scenario
+        windows = self._windows(scenario)
+        with _service(scenario) as service:
+            service.open_session("s", user_count=2, config=_CFG, rng=11)
+            for r, obs in enumerate(windows):
+                reply = service.submit(TrackStepRequest(
+                    request_id=f"r{r}", client_id="t", session_id="s",
+                    observation=obs,
+                )).result(timeout=30)
+                assert reply.ok and reply.skip_reason is None
+        local = TrackingSession("local", SequentialMonteCarloTracker(
+            net.field, net.positions[sniffers], 2,
+            config=_CFG, rng=11, fingerprint_map=fmap,
+        ))
+        for obs in windows:
+            local.process(obs)
+        session = service.close_session("s")
+        assert session.windows_consumed == local.windows_consumed
+        assert np.array_equal(session.estimates(), local.estimates())
+
+    def test_skipped_window_is_a_reply_not_an_error(self, scenario):
+        windows = self._windows(scenario)
+        with _service(scenario) as service:
+            service.open_session("s", user_count=2, config=_CFG, rng=11)
+            first = service.submit(TrackStepRequest(
+                request_id="r0", client_id="t", session_id="s",
+                observation=windows[1],
+            )).result(timeout=30)
+            stale = service.submit(TrackStepRequest(
+                request_id="r1", client_id="t", session_id="s",
+                observation=windows[0],  # out of order
+            )).result(timeout=30)
+        assert first.ok and first.skip_reason is None
+        assert stale.ok and stale.skip_reason is not None
+        assert stale.step is None
+
+    def test_unknown_session_is_a_typed_error(self, scenario):
+        windows = self._windows(scenario, rounds=1)
+        with _service(scenario) as service:
+            reply = service.submit(TrackStepRequest(
+                request_id="r0", client_id="t", session_id="ghost",
+                observation=windows[0],
+            )).result(timeout=30)
+        assert not reply.ok
+        assert reply.code == ERROR_UNKNOWN_SESSION
+
+    def test_drain_and_checkpoint_then_resume(self, scenario, tmp_path):
+        windows = self._windows(scenario)
+        service = _service(scenario).start()
+        service.open_session("patrol", user_count=2, config=_CFG, rng=11)
+        for r, obs in enumerate(windows[:3]):
+            service.submit(TrackStepRequest(
+                request_id=f"r{r}", client_id="t", session_id="patrol",
+                observation=obs,
+            )).result(timeout=30)
+        summary = service.stop(checkpoint_dir=tmp_path)
+        path = summary["checkpoints"]["patrol"]
+        assert path.endswith("patrol.ckpt.npz")
+
+        revived = _service(scenario)
+        session = revived.resume_session(path)
+        assert session.session_id == "patrol"
+        assert session.windows_consumed == 3
+        with revived:
+            reply = revived.submit(TrackStepRequest(
+                request_id="r3", client_id="t", session_id="patrol",
+                observation=windows[3],
+            )).result(timeout=30)
+        assert reply.ok and reply.skip_reason is None
+
+    def test_duplicate_session_id_rejected(self, scenario):
+        service = _service(scenario)
+        service.open_session("s", user_count=2, config=_CFG)
+        with pytest.raises(ConfigurationError):
+            service.open_session("s", user_count=2, config=_CFG)
+
+
+class TestLifecycle:
+    def test_submit_after_stop_gets_shutdown_reply(self, scenario):
+        request = _requests(scenario, 1, 1)[0][0]
+        service = _service(scenario).start()
+        service.stop()
+        reply = service.submit(request).result(timeout=5)
+        assert not reply.ok
+        assert reply.code == ERROR_SHUTDOWN
+
+    def test_stop_without_drain_flushes_queue(self, scenario):
+        batch = _requests(scenario, 1, 4)[0]
+        service = _service(scenario)  # never started: nothing drains
+        futures = [service.submit(r) for r in batch]
+        summary = service.stop(drain=False)
+        assert summary["flushed"] == 4
+        for future in futures:
+            reply = future.result(timeout=5)
+            assert reply.code == ERROR_SHUTDOWN
+
+    def test_double_start_rejected(self, scenario):
+        with _service(scenario) as service:
+            with pytest.raises(ConfigurationError):
+                service.start()
+
+    def test_call_raises_typed_exception(self, scenario):
+        request = _requests(scenario, 1, 1)[0][0]
+        expired = LocalizeRequest(
+            request_id="late", client_id="c", observation=request.observation,
+            candidate_count=32, deadline_s=0.0,
+        )
+        with _service(scenario) as service:
+            assert service.call(request, timeout=30).ok
+            with pytest.raises(DeadlineExpired):
+                service.call(expired, timeout=30)
+
+    def test_rejects_non_request_objects(self, scenario):
+        service = _service(scenario)
+        with pytest.raises(ConfigurationError):
+            service.submit({"request_id": "r"})
+
+
+class TestSharedState:
+    def test_registry_shares_one_build(self, scenario):
+        net, sniffers, _ = scenario
+        registry = MapRegistry()
+        a = LocalizationService(
+            net.field, net.positions[sniffers],
+            registry=registry, map_resolution=2.0,
+        )
+        b = LocalizationService(
+            net.field, net.positions[sniffers],
+            registry=registry, map_resolution=2.0,
+        )
+        assert registry.builds == 1
+        assert a.fingerprint_map is b.fingerprint_map
+
+    def test_wrong_deployment_map_refused(self, scenario):
+        net, sniffers, _ = scenario
+        other = build_fingerprint_map(
+            net.field, net.positions[sniffers][:-1], resolution=2.0
+        )
+        with pytest.raises(ConfigurationError):
+            LocalizationService(
+                net.field, net.positions[sniffers], fingerprint_map=other
+            )
+
+
+class TestMetricsEndpoint:
+    def test_http_snapshot(self, scenario):
+        batch = _requests(scenario, 1, 3)[0]
+        with _service(scenario) as service:
+            for request in batch:
+                service.call(request, timeout=30)
+            with MetricsServer(service.metrics, port=0) as endpoint:
+                url = f"http://127.0.0.1:{endpoint.port}"
+                payload = json.loads(
+                    urllib.request.urlopen(f"{url}/metrics").read()
+                )
+                health = json.loads(
+                    urllib.request.urlopen(f"{url}/healthz").read()
+                )
+        assert payload["replies_ok"] == 3
+        assert payload["requests_submitted"] == 3
+        assert payload["batches"] >= 1
+        assert health == {"status": "ok"}
+
+    def test_snapshot_fields(self, scenario):
+        batch = _requests(scenario, 1, 2)[0]
+        with _service(scenario) as service:
+            for request in batch:
+                service.call(request, timeout=30)
+        snapshot = service.metrics.snapshot()
+        for key in (
+            "latency_p50_s", "latency_p95_s", "latency_p99_s",
+            "batch_size_histogram", "batch_size_mean", "queue_depth",
+            "deadline_expiries", "fused_candidate_rows",
+        ):
+            assert key in snapshot
+        assert snapshot["fused_candidate_rows"] > 0

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, StreamError
+from repro.errors import BackpressureTimeout, ConfigurationError, StreamError
 from repro.network import sample_sniffers_percentage
 from repro.smc import SequentialMonteCarloTracker, TrackerConfig
 from repro.stream import SessionManager, SyntheticLiveSource, TrackingSession
@@ -161,3 +161,46 @@ class TestBackpressure:
             SessionManager(policy="spill")
         with pytest.raises(ConfigurationError):
             SessionManager(workers=-1)
+        with pytest.raises(ConfigurationError):
+            SessionManager(policy="block", block_timeout=0.0)
+
+    def test_block_timeout_raises_typed_error(self, fleet):
+        observations, make_session = fleet
+        manager = SessionManager(
+            queue_size=1, policy="block", block_timeout=0.05
+        )
+        manager.add_session(make_session("a"))
+        # Freeze the consumer: drain() makes no progress, so the full
+        # queue can never make room and the block must time out.
+        manager.drain = lambda: 0
+        assert manager.submit("a", observations[0])
+        with pytest.raises(BackpressureTimeout):
+            manager.submit("a", observations[1])
+        # The refused window was not enqueued.
+        assert manager.queued() == 1
+
+    def test_submit_timeout_overrides_manager_default(self, fleet):
+        observations, make_session = fleet
+        manager = SessionManager(queue_size=1, policy="block")
+        manager.add_session(make_session("a"))
+        manager.drain = lambda: 0
+        manager.submit("a", observations[0])
+        with pytest.raises(BackpressureTimeout):
+            manager.submit("a", observations[1], timeout=0.05)
+
+    def test_block_timeout_is_a_stream_error(self):
+        # Producers already catching StreamError keep working.
+        assert issubclass(BackpressureTimeout, StreamError)
+
+    def test_block_with_timeout_still_admits_when_draining(self, fleet):
+        observations, make_session = fleet
+        manager = SessionManager(
+            queue_size=2, policy="block", block_timeout=5.0
+        )
+        manager.add_session(make_session("a"))
+        for obs in observations:
+            assert manager.submit("a", obs)
+        manager.drain()
+        session = manager.session("a")
+        assert session.metrics.windows_dropped == 0
+        assert session.metrics.windows_processed == len(observations)
