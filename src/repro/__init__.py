@@ -33,14 +33,19 @@ from repro.errors import (
     ConnectivityError,
     DeadlineExpired,
     DeploymentError,
+    EngineError,
+    FaultInjected,
     FittingError,
     GeometryError,
     ReproError,
+    RetriesExhausted,
     ServeError,
     StreamError,
     TraceError,
     TrackingError,
+    WorkerCrashed,
 )
+from repro.faults import FaultPlan, FaultSpec, RetryPolicy, injected
 from repro.geometry import CircularField, PolygonField, RectangularField
 from repro.network import (
     Network,
@@ -103,6 +108,14 @@ __all__ = [
     "ServeError",
     "AdmissionError",
     "DeadlineExpired",
+    "EngineError",
+    "WorkerCrashed",
+    "RetriesExhausted",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "injected",
     "RectangularField",
     "CircularField",
     "PolygonField",

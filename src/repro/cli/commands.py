@@ -48,6 +48,20 @@ def _place_users(net, count, gen):
     return truth, stretches
 
 
+def _load_fault_plan(args):
+    """The ``--fault-plan`` JSON as a FaultPlan, or None without one.
+
+    Raises :class:`~repro.errors.ConfigurationError` on an unreadable
+    or invalid plan file — callers turn that into exit code 1.
+    """
+    path = getattr(args, "fault_plan", None)
+    if not path:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.load(path)
+
+
 def cmd_simulate(args) -> int:
     gen = as_generator(args.seed)
     net = _network_from(args)
@@ -343,17 +357,33 @@ def cmd_track_stream(args) -> int:
             )
 
     try:
-        run_stream(
-            source,
-            session,
-            checkpoint_path=args.checkpoint,
-            checkpoint_every=args.checkpoint_every,
-            max_windows=args.max_windows,
-            on_step=on_step,
-        )
+        plan = _load_fault_plan(args)
+    except ConfigurationError as exc:
+        print(f"cannot load fault plan {args.fault_plan}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        from repro.faults import RetryPolicy, injected
+
+        with injected(plan):
+            run_stream(
+                source,
+                session,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                max_windows=args.max_windows,
+                on_step=on_step,
+                retry_policy=(
+                    RetryPolicy(max_attempts=3, base_delay_s=0.005,
+                                max_delay_s=0.1)
+                    if plan is not None else None
+                ),
+            )
     except StreamError as exc:
         print(f"stream failed: {exc}", file=sys.stderr)
         return 1
+    if plan is not None:
+        print(f"fault plan: {plan.summary()}")
 
     estimates = session.estimates()
     print("final estimates:")
@@ -494,6 +524,12 @@ def cmd_serve(args) -> int:
     except ConfigurationError as exc:
         print(f"cannot build service: {exc}", file=sys.stderr)
         return 1
+    try:
+        plan = _load_fault_plan(args)
+    except ConfigurationError as exc:
+        print(f"cannot load fault plan {args.fault_plan}: {exc}",
+              file=sys.stderr)
+        return 1
     deadline_s = (
         args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
     )
@@ -587,16 +623,21 @@ def cmd_serve(args) -> int:
         f"max_batch={args.max_batch} max_wait={args.max_wait_ms:g}ms "
         f"policy={args.policy}"
     )
-    service.start()
-    start = time.perf_counter()
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    elapsed = time.perf_counter() - start
-    summary = service.stop(checkpoint_dir=args.checkpoint_dir)
+    from repro.faults import injected
+
+    with injected(plan):
+        service.start()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        summary = service.stop(checkpoint_dir=args.checkpoint_dir)
     if endpoint is not None:
         endpoint.stop()
+    if plan is not None:
+        print(f"fault plan: {plan.summary()}")
 
     total = len(ok_replies) + len(error_codes)
     rps = total / elapsed if elapsed > 0 else float("nan")

@@ -164,6 +164,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="map-reseed a user after this many consecutive missed "
         "flux-bearing windows (0 = only on weight underflow; needs --map)",
     )
+    p.add_argument(
+        "--fault-plan",
+        default=None,
+        help="arm this fault-plan JSON (repro.faults) for the run: "
+        "stalled/duplicated/torn windows, torn checkpoint writes",
+    )
     p.set_defaults(handler=commands.cmd_track_stream)
 
     p = sub.add_parser(
@@ -279,6 +285,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--metrics-out", default=None, help="write the final metrics JSON here"
+    )
+    p.add_argument(
+        "--fault-plan",
+        default=None,
+        help="arm this fault-plan JSON (repro.faults) for the load run: "
+        "batch-fuse/kernel faults are retried, backends degrade to serial",
     )
     p.set_defaults(handler=commands.cmd_serve)
 

@@ -11,6 +11,7 @@ equal to serial" unverifiable.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -53,12 +54,20 @@ class EngineConfig:
         shared memory; only worthwhile for very large pools on hosts
         where the thread path is GIL-bound. Falls back to ``thread``
         where ``fork`` is unavailable.
+    watchdog_s:
+        Process-backend watchdog: the longest one fork-pool evaluation
+        may take before the executor declares a dead or hung worker and
+        raises :class:`~repro.errors.WorkerCrashed` instead of waiting
+        on ``join()`` forever (a killed worker's chunk is silently lost
+        by ``multiprocessing.Pool``). ``None`` disables the watchdog
+        (the pre-resilience behavior; only sensible in debuggers).
     """
 
     workers: int = 0
     chunk_size: int = 4096
     dtype: str = "float64"
     backend: str = "thread"
+    watchdog_s: Optional[float] = 60.0
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -74,6 +83,10 @@ class EngineConfig:
         if self.backend not in _BACKENDS:
             raise ConfigurationError(
                 f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
+        if self.watchdog_s is not None and self.watchdog_s <= 0:
+            raise ConfigurationError(
+                f"watchdog_s must be positive or None, got {self.watchdog_s}"
             )
 
     @property

@@ -37,7 +37,8 @@ import numpy as np
 
 from repro.engine.config import EngineConfig
 from repro.engine.executor import Engine, resolve_engine
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultInjected, WorkerCrashed
+from repro.faults.plan import should_fire
 from repro.geometry.field import Field, RectangularField
 
 _EPS = 1e-12
@@ -183,6 +184,10 @@ def _fill_span(
     start: int,
     stop: int,
 ) -> None:
+    if should_fire("engine.kernel.transient") is not None:
+        raise FaultInjected(
+            f"engine.kernel.transient: kernel chunk [{start}, {stop}) failed"
+        )
     if isinstance(field, RectangularField):
         _fill_rect_chunk(field, nodes, d_floor, sinks, out, start, stop)
     else:
@@ -193,7 +198,20 @@ def _fill_span(
 # Process backend: fork workers filling a shared-memory block.
 # ----------------------------------------------------------------------
 def _process_worker(payload) -> None:  # pragma: no cover - exercised via subprocess
+    import os
+    import time
     from multiprocessing import shared_memory
+
+    # Fork children inherit the armed fault plan; firings counted here
+    # never propagate back to the parent's counters (documented in
+    # repro.faults.plan), so crash/hang faults repeat across retries —
+    # recovery from them is the serve layer's serial fallback.
+    spec = should_fire("engine.worker.crash")
+    if spec is not None:
+        os._exit(1)
+    spec = should_fire("engine.worker.hang")
+    if spec is not None:
+        time.sleep(spec.delay_s)
 
     shm_name, shape, dtype, field, nodes, d_floor, sinks, start, stop = payload
     shm = shared_memory.SharedMemory(name=shm_name)
@@ -218,6 +236,7 @@ def _fill_processes(
     out: np.ndarray,
     chunk_size: int,
     workers: int,
+    watchdog_s: Optional[float] = None,
 ) -> None:
     import multiprocessing
     from multiprocessing import shared_memory
@@ -238,8 +257,24 @@ def _fill_processes(
             for start, stop in spans
         ]
         ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=workers) as pool:
-            pool.map(_process_worker, payloads)
+        pool = ctx.Pool(processes=workers)
+        try:
+            # A worker killed mid-task (OOM, segfault, SIGKILL) silently
+            # loses its chunk and a plain pool.map joins forever; the
+            # watchdog turns both death and hang into a typed error.
+            result = pool.map_async(_process_worker, payloads)
+            try:
+                result.get(timeout=watchdog_s)
+            except multiprocessing.TimeoutError:
+                pool.terminate()
+                raise WorkerCrashed(
+                    f"process backend: {len(spans)} kernel chunk(s) not "
+                    f"completed within watchdog_s={watchdog_s}s — a worker "
+                    "died or hung"
+                ) from None
+        finally:
+            pool.terminate()
+            pool.join()
         out[:] = shared
     finally:
         shm.close()
@@ -312,7 +347,21 @@ def evaluate_geometry_kernels(
         and m > size
         and _fork_available()
     ):
-        _fill_processes(field, nodes, floor, sinks, out, size, cfg.workers)
+        def _run_processes() -> None:
+            _fill_processes(
+                field, nodes, floor, sinks, out, size, cfg.workers,
+                watchdog_s=cfg.watchdog_s,
+            )
+
+        if eng.retry_policy is None:
+            _run_processes()
+        else:
+            from repro.faults.retry import call_with_retry
+
+            call_with_retry(
+                _run_processes, eng.retry_policy,
+                label="engine.process_backend evaluation",
+            )
         return out
 
     eng.run_chunks(

@@ -68,6 +68,47 @@ class BackpressureTimeout(StreamError):
     """
 
 
+class EngineError(ReproError):
+    """The parallel kernel engine hit a structural execution failure.
+
+    Per-chunk *numerical* problems are not engine errors — kernels
+    raise :class:`FittingError`/``FloatingPointError`` style failures
+    that retries can absorb. This covers the executor machinery itself:
+    an unusable backend, a worker pool that cannot complete its spans.
+    """
+
+
+class WorkerCrashed(EngineError):
+    """A process-backend worker died or hung mid-evaluation.
+
+    Raised by the fork backend's watchdog when the worker pool fails to
+    complete its chunk spans within ``EngineConfig.watchdog_s`` —
+    typically a killed/OOMed worker (its chunk is silently lost by
+    ``multiprocessing.Pool``) or a worker stuck in a hang. The shared
+    output buffer is discarded; callers retry under a
+    :class:`~repro.faults.RetryPolicy` or fall back to the thread/serial
+    path.
+    """
+
+
+class RetriesExhausted(ReproError):
+    """A bounded :class:`~repro.faults.RetryPolicy` gave up.
+
+    Raised by :func:`repro.faults.call_with_retry` after the final
+    attempt failed; the last underlying exception is chained as
+    ``__cause__``.
+    """
+
+
+class FaultInjected(ReproError):
+    """An armed :class:`~repro.faults.FaultPlan` fired at a fault point.
+
+    Only ever raised while a plan is armed — production runs with
+    fault injection disarmed can never see this type. Chaos harnesses
+    use it to tell injected failures from real bugs.
+    """
+
+
 class ServeError(ReproError):
     """Base class for failures of the batched localization service.
 

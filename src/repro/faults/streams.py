@@ -1,0 +1,72 @@
+"""Observation-stream fault injection: stalls, duplicates, torn windows.
+
+The paper's attack setting (§IV.C–E) already assumes degraded inputs —
+lossy sniffer traffic, missed windows — and the streaming layer's
+skip-and-count contract is built for them. These injectors produce the
+degradations a real sniffer feed exhibits, *between* the source and the
+session, so the chaos harness can prove the contract holds:
+
+``stream.source.stall``
+    The feed goes quiet for ``delay_s`` before the next window (a
+    congested collection tree, a wedged collector).
+``stream.source.duplicate``
+    One window is delivered twice (an at-least-once transport). The
+    second copy violates monotonic time and must be skipped-and-counted
+    as ``out_of_order``, leaving tracker state untouched.
+``stream.source.torn``
+    A window arrives truncated to half its sniffer readings (a torn
+    packet). The session must skip-and-count it as ``arity_mismatch``;
+    the original window is lost — by design the SMC tracker absorbs the
+    gap with a wider prediction disc.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.faults import clock as _clock
+from repro.faults.plan import active_plan, should_fire
+from repro.traffic.measurement import FluxObservation
+
+
+def torn_observation(observation: FluxObservation) -> FluxObservation:
+    """A truncated copy: the first half of the sniffer readings only."""
+    keep = max(1, observation.sniffers.shape[0] // 2)
+    return FluxObservation(
+        time=float(observation.time),
+        sniffers=observation.sniffers[:keep].copy(),
+        values=observation.values[:keep].copy(),
+        raw_values=(
+            None
+            if observation.raw_values is None
+            else observation.raw_values[:keep].copy()
+        ),
+    )
+
+
+def wrap_observation_stream(
+    iterator: Iterable[FluxObservation],
+) -> Iterable[FluxObservation]:
+    """Route a stream through the armed fault plan (identity when disarmed).
+
+    Checked once at wrap time: arming a plan *after* the stream started
+    does not retroactively inject (the pump holds the raw iterator).
+    """
+    if active_plan() is None:
+        return iterator
+    return _inject(iter(iterator))
+
+
+def _inject(iterator: Iterator[FluxObservation]) -> Iterator[FluxObservation]:
+    for observation in iterator:
+        spec = should_fire("stream.source.stall")
+        if spec is not None:
+            _clock.sleep(spec.delay_s)
+        spec = should_fire("stream.source.torn")
+        if spec is not None:
+            yield torn_observation(observation)
+            continue  # the intact window is lost with the torn packet
+        yield observation
+        spec = should_fire("stream.source.duplicate")
+        if spec is not None:
+            yield observation

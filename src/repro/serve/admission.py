@@ -20,7 +20,15 @@ Deadlines are enforced at drain time: :meth:`take` purges lapsed
 entries into its ``expired`` result instead of handing them to the
 scheduler, and the service completes them with ``deadline_expired``
 error replies — stale work never reaches the solver and is never
-silently dropped.
+silently dropped. The scheduler re-checks expiry again at dispatch
+time, so a request whose deadline lapses *between* drain and solve is
+also answered ``deadline_expired`` rather than solved late.
+
+Deadline arithmetic (wrap/expired/latency and the drain-time purge)
+reads the injectable faults clock (:mod:`repro.faults.clock`), which
+makes the drain/dispatch race testable with a :class:`~repro.faults.
+FakeClock`; the condition-variable waits below deliberately stay on
+real ``time.monotonic`` so a fake clock can never hang a thread.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Deque, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.faults import clock as _clock
 
 #: ``offer`` outcomes.
 ADMITTED = "admitted"
@@ -60,7 +69,7 @@ class PendingRequest:
 
     @classmethod
     def wrap(cls, request, now: Optional[float] = None) -> "PendingRequest":
-        now = time.monotonic() if now is None else now
+        now = _clock.monotonic() if now is None else now
         deadline_s = getattr(request, "deadline_s", None)
         expires_at = None if deadline_s is None else now + float(deadline_s)
         return cls(
@@ -71,10 +80,10 @@ class PendingRequest:
     def expired(self, now: Optional[float] = None) -> bool:
         if self.expires_at is None:
             return False
-        return (time.monotonic() if now is None else now) >= self.expires_at
+        return (_clock.monotonic() if now is None else now) >= self.expires_at
 
     def latency(self, now: Optional[float] = None) -> float:
-        return (time.monotonic() if now is None else now) - self.submitted_at
+        return (_clock.monotonic() if now is None else now) - self.submitted_at
 
 
 class AdmissionQueue:
@@ -243,7 +252,7 @@ class AdmissionQueue:
     def _drain_locked(
         self, max_items: int
     ) -> Tuple[List[PendingRequest], List[PendingRequest]]:
-        now = time.monotonic()
+        now = _clock.monotonic()
         batch: List[PendingRequest] = []
         expired: List[PendingRequest] = []
         idle_turns = 0

@@ -42,6 +42,10 @@ class ServerMetrics:
         self.batch_sizes: Counter = Counter()  # exact size -> count
         self.fused_candidate_rows = 0
         self.queue_depth = 0  # gauge: sampled at each batch drain
+        self.retries: Counter = Counter()  # by retried-operation label
+        self.backend_fallbacks = 0  # parallel backend leased out (serial mode)
+        self.backend_reescalations = 0  # parallel backend restored
+        self.internal_faults: Counter = Counter()  # by origin site
 
     # ------------------------------------------------------------------
     def record_submit(self) -> None:
@@ -86,6 +90,27 @@ class ServerMetrics:
             self.queue_depth = int(depth)
 
     # ------------------------------------------------------------------
+    def record_retry(self, label: str) -> None:
+        """One bounded-backoff retry of ``label`` (the RetryPolicy hook)."""
+        with self._lock:
+            self.retries[label] += 1
+
+    def record_backend_fallback(self) -> None:
+        """The scheduler degraded from its parallel backend to serial."""
+        with self._lock:
+            self.backend_fallbacks += 1
+
+    def record_backend_reescalation(self) -> None:
+        """The scheduler restored its parallel backend after a cool-down."""
+        with self._lock:
+            self.backend_reescalations += 1
+
+    def record_internal_fault(self, where: str) -> None:
+        """A swallowed-but-observed internal failure (e.g. prematch pass)."""
+        with self._lock:
+            self.internal_faults[where] += 1
+
+    # ------------------------------------------------------------------
     def latency_quantiles(self) -> Dict[str, float]:
         """p50/p95/p99 reply latency (seconds), recent window."""
         with self._lock:
@@ -124,6 +149,14 @@ class ServerMetrics:
                 "batch_size_histogram": {str(k): v for k, v in sizes.items()},
                 "batch_size_mean": mean_batch,
                 "fused_candidate_rows": self.fused_candidate_rows,
+                "retries": {str(k): v for k, v in sorted(self.retries.items())},
+                "retries_total": int(sum(self.retries.values())),
+                "backend_fallbacks": self.backend_fallbacks,
+                "backend_reescalations": self.backend_reescalations,
+                "internal_faults": {
+                    str(k): v for k, v in sorted(self.internal_faults.items())
+                },
+                "internal_faults_total": int(sum(self.internal_faults.values())),
                 "latency_p50_s": quantiles["p50"],
                 "latency_p95_s": quantiles["p95"],
                 "latency_p99_s": quantiles["p99"],

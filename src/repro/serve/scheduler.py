@@ -36,14 +36,17 @@ the batched-vs-unbatched identity trivially auditable.
 
 from __future__ import annotations
 
+import logging
 import threading
-import time
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultInjected, RetriesExhausted
+from repro.faults import clock as _clock
+from repro.faults.plan import should_fire
+from repro.faults.retry import TRANSIENT_ERRORS, call_with_retry
 from repro.fingerprint.candidates import MapSeededCandidates, UniformCandidates
 from repro.fingerprint.nls import (
     NLSLocalizer,
@@ -55,6 +58,7 @@ from repro.fingerprint.objective import _RIDGE
 from repro.fingerprint.results import CompositionFit, LocalizationResult
 from repro.serve.admission import AdmissionQueue, PendingRequest
 from repro.serve.metrics import ServerMetrics
+from repro.serve.resilience import BackendGovernor
 from repro.serve.requests import (
     ERROR_DEADLINE_EXPIRED,
     ERROR_INTERNAL,
@@ -69,6 +73,12 @@ from repro.serve.requests import (
 #: Row block of the fused single-user solve: bounds the ``(block, n)``
 #: residual temporary while staying large enough to amortize dispatch.
 _SOLVE_BLOCK_ROWS = 8192
+
+_LOG = logging.getLogger(__name__)
+
+#: Failures of the fused evaluation worth a retry / serial fallback
+#: (transient set plus an exhausted bounded retry of that set).
+_BACKEND_FAULTS = TRANSIENT_ERRORS + (RetriesExhausted,)
 
 
 class _LocalizePlan:
@@ -233,6 +243,10 @@ def fuse_pool_kernels(model, plans: Sequence[_LocalizePlan], engine=None) -> int
     if rows:
         stacked = np.concatenate(rows, axis=0)
         total = stacked.shape[0]
+        if should_fire("serve.batch.fuse") is not None:
+            raise FaultInjected(
+                f"serve.batch.fuse: fused kernel pass over {total} rows failed"
+            )
         fused = model.geometry_kernels(stacked, engine=engine)
     offset = 0
     for plan, r, u, count in segments:
@@ -369,6 +383,18 @@ class MicroBatchScheduler:
     idle_wait_s:
         Poll bound of the empty-queue wait (also the stop-signal
         latency).
+    retry_policy:
+        Optional :class:`~repro.faults.RetryPolicy` for the fused
+        kernel evaluation. Transient failures (injected faults, engine
+        errors) are retried under bounded backoff before the serial
+        fallback is attempted; every retry is counted in
+        ``metrics.retries``.
+    fault_threshold / cooldown_s:
+        The :class:`~repro.serve.resilience.BackendGovernor` knobs:
+        after ``fault_threshold`` consecutive fused-evaluation faults
+        the parallel backend is leased out for ``cooldown_s``
+        injected-clock seconds (batches evaluate serially — always
+        bitwise-identical in float64), then restored.
     """
 
     def __init__(
@@ -382,6 +408,9 @@ class MicroBatchScheduler:
         max_batch: int = 32,
         max_wait_s: float = 0.002,
         idle_wait_s: float = 0.05,
+        retry_policy=None,
+        fault_threshold: int = 3,
+        cooldown_s: float = 5.0,
     ):
         if max_batch < 1:
             raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
@@ -398,6 +427,14 @@ class MicroBatchScheduler:
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_s)
         self.idle_wait_s = float(idle_wait_s)
+        self.retry_policy = retry_policy
+        self.governor = BackendGovernor(
+            engine,
+            fault_threshold=fault_threshold,
+            cooldown_s=cooldown_s,
+            on_fallback=metrics.record_backend_fallback,
+            on_reescalate=metrics.record_backend_reescalation,
+        )
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -462,9 +499,11 @@ class MicroBatchScheduler:
                     )
 
     def _process_inner(self, batch: List[PendingRequest]) -> None:
-        taken_at = time.monotonic()
+        taken_at = _clock.monotonic()
         live: List[PendingRequest] = []
         for item in batch:
+            # Dispatch-time re-check: the deadline may have lapsed in
+            # the window between the drain purge and this point.
             if item.expired(taken_at):
                 self._complete_error(
                     item, ERROR_DEADLINE_EXPIRED,
@@ -475,14 +514,23 @@ class MicroBatchScheduler:
         if not live:
             return
         batch_size = len(live)
+        engine = self.governor.current_engine()
 
         localize = [i for i in live if isinstance(i.request, LocalizeRequest)]
         track = [i for i in live if isinstance(i.request, TrackStepRequest)]
 
         try:
             prematches = fuse_map_matches(self.fingerprint_map, localize)
-        except Exception:
-            prematches = {}  # fall back to per-request matching
+        except Exception as exc:
+            # Observable fallback to per-request matching (values are
+            # unchanged either way); a silent swallow here hid real
+            # prematch bugs behind identical replies.
+            _LOG.warning(
+                "fused prematch failed (%s: %s); falling back to "
+                "per-request matching", type(exc).__name__, exc,
+            )
+            self.metrics.record_internal_fault("serve.prematch")
+            prematches = {}
         plans: List[_LocalizePlan] = []
         for item in localize:
             try:
@@ -499,9 +547,7 @@ class MicroBatchScheduler:
         fused_rows = 0
         if plans:
             try:
-                fused_rows = fuse_pool_kernels(
-                    self.localizer.model, plans, engine=self.engine
-                )
+                fused_rows = self._fused_kernels(plans, engine)
             except Exception as exc:
                 for plan in plans:
                     self._complete_error(
@@ -534,7 +580,7 @@ class MicroBatchScheduler:
 
         for plan in multis:
             try:
-                result = solve_multi_user(plan, engine=self.engine)
+                result = solve_multi_user(plan, engine=engine)
             except Exception as exc:
                 self._complete_error(
                     plan.item, ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
@@ -543,6 +589,46 @@ class MicroBatchScheduler:
             self._complete_localize(plan.item, result, batch_size, taken_at)
 
         self._process_track(track, batch_size, taken_at)
+
+    def _fused_kernels(self, plans: List[_LocalizePlan], engine) -> int:
+        """The fused kernel pass under the resilience ladder.
+
+        Bounded retries first (when a policy is set), then — if the
+        parallel backend keeps failing — a one-shot serial fallback for
+        *this* batch, with the governor counting the fault toward a
+        cool-down lease. Serial evaluation of the same pools is bitwise-
+        identical in float64, so degradation never changes a reply.
+        """
+
+        def run(eng) -> int:
+            if self.retry_policy is None:
+                return fuse_pool_kernels(self.localizer.model, plans,
+                                         engine=eng)
+            return call_with_retry(
+                lambda: fuse_pool_kernels(self.localizer.model, plans,
+                                          engine=eng),
+                self.retry_policy,
+                on_retry=lambda attempt, exc: self.metrics.record_retry(
+                    "serve.batch.fuse"
+                ),
+                label="serve.batch.fuse",
+            )
+
+        if engine is None:
+            return run(None)
+        try:
+            rows = run(engine)
+        except _BACKEND_FAULTS as exc:
+            self.governor.record_fault()
+            _LOG.warning(
+                "fused kernel pass failed on the parallel backend "
+                "(%s: %s); evaluating this batch serially",
+                type(exc).__name__, exc,
+            )
+            self.metrics.record_internal_fault("serve.batch.fuse")
+            return run(None)
+        self.governor.record_success()
+        return rows
 
     def _process_track(
         self,

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.faults.retry import RetryPolicy
 from repro.fingerprint.nls import NLSLocalizer
 from repro.serve.admission import (
     ADMITTED,
@@ -86,7 +87,17 @@ class LocalizationService:
         AdmissionQueue`).
     metrics:
         Optional externally owned :class:`ServerMetrics`.
+    retry_policy:
+        :class:`~repro.faults.RetryPolicy` for the scheduler's fused
+        kernel pass and the drain checkpoint writes. The default is a
+        small bounded policy (3 attempts); pass ``None`` explicitly to
+        disable retries.
+    fault_threshold / cooldown_s:
+        Backend-degradation knobs forwarded to the scheduler's
+        :class:`~repro.serve.resilience.BackendGovernor`.
     """
+
+    _DEFAULT_RETRIES = "default"
 
     def __init__(
         self,
@@ -105,7 +116,14 @@ class LocalizationService:
         per_client_limit: Optional[int] = None,
         metrics: Optional[ServerMetrics] = None,
         idle_wait_s: float = 0.05,
+        retry_policy=_DEFAULT_RETRIES,
+        fault_threshold: int = 3,
+        cooldown_s: float = 5.0,
     ):
+        if retry_policy == self._DEFAULT_RETRIES:
+            retry_policy = RetryPolicy(max_attempts=3, base_delay_s=0.005,
+                                       max_delay_s=0.1)
+        self.retry_policy = retry_policy
         self.localizer = NLSLocalizer(field, sniffer_positions, d_floor=d_floor)
         self.engine = engine
         if fingerprint_map is None and map_resolution is not None:
@@ -148,6 +166,9 @@ class LocalizationService:
             max_batch=max_batch,
             max_wait_s=max_wait_s,
             idle_wait_s=idle_wait_s,
+            retry_policy=retry_policy,
+            fault_threshold=fault_threshold,
+            cooldown_s=cooldown_s,
         )
         self._sessions: Dict[str, TrackingSession] = {}
         self._sessions_lock = threading.Lock()
@@ -211,7 +232,10 @@ class LocalizationService:
                 sessions = dict(self._sessions)
             for session_id, session in sessions.items():
                 path = directory / f"{session_id}.ckpt.npz"
-                checkpoints[session_id] = str(save_checkpoint(session, path))
+                checkpoints[session_id] = str(
+                    save_checkpoint(session, path,
+                                    retry_policy=self.retry_policy)
+                )
         return {"flushed": flushed, "checkpoints": checkpoints}
 
     def __enter__(self) -> "LocalizationService":

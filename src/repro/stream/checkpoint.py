@@ -11,18 +11,33 @@ checkpointed: they are observability artifacts, not tracker state.
 The on-disk format is a single ``.npz`` (same family as
 :mod:`repro.util.persistence`) with JSON side-channels for the
 structured bits (config, RNG state, counters).
+
+Durability contract: :func:`save_checkpoint` writes to a unique temp
+file, flushes and fsyncs it, then publishes with ``os.replace`` — a
+kill, torn write, or fsync failure at *any* instant leaves either the
+previous checkpoint or the new one, never a hybrid. :func:`load_
+checkpoint` turns every corrupt/truncated-file failure mode into a
+typed :class:`~repro.errors.ConfigurationError` naming the path. Both
+behaviors are exercised by the ``checkpoint.partial_write`` /
+``checkpoint.fsync`` fault points (:mod:`repro.faults`), and writes
+optionally run under a bounded :class:`~repro.faults.RetryPolicy`.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import threading
+import zipfile
 from pathlib import Path
 from typing import Optional, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultInjected
+from repro.faults.plan import should_fire
+from repro.faults.retry import call_with_retry
 from repro.smc.samples import UserSamples
 from repro.smc.tracker import SequentialMonteCarloTracker, TrackerConfig
 from repro.stream.metrics import StreamMetrics
@@ -52,8 +67,55 @@ _REQUIRED_KEYS = (
 )
 
 
-def save_checkpoint(session: TrackingSession, path: _PathLike) -> Path:
-    """Serialize a session (tracker state + stream cursor) to ``.npz``."""
+def _atomic_write(path: Path, arrays: dict) -> None:
+    """Write ``arrays`` as ``.npz`` at ``path`` with all-or-nothing effect.
+
+    Unique temp name (pid- and thread-suffixed: two writers of the same
+    checkpoint never clobber each other's temp), flush + fsync before
+    publish, and the temp unlinked on any failure. The
+    ``checkpoint.partial_write`` fault truncates the payload mid-write;
+    ``checkpoint.fsync`` fails the durability barrier — both leave
+    ``path`` untouched.
+    """
+    tmp = path.with_suffix(
+        path.suffix + f".{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    try:
+        with tmp.open("wb") as handle:
+            if should_fire("checkpoint.partial_write") is not None:
+                import io
+
+                buffer = io.BytesIO()
+                np.savez_compressed(buffer, **arrays)
+                handle.write(buffer.getvalue()[: buffer.tell() // 2])
+                handle.flush()
+                raise FaultInjected(
+                    f"checkpoint.partial_write: torn write of {tmp}"
+                )
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            if should_fire("checkpoint.fsync") is not None:
+                raise OSError(f"checkpoint.fsync: injected fsync failure {tmp}")
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)  # atomic: a kill mid-write never corrupts
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
+def save_checkpoint(
+    session: TrackingSession, path: _PathLike, retry_policy=None
+) -> Path:
+    """Serialize a session (tracker state + stream cursor) to ``.npz``.
+
+    ``retry_policy`` (a :class:`~repro.faults.RetryPolicy`) re-attempts
+    the atomic write on transient I/O failures; the write is idempotent
+    (same arrays, fresh temp file), so a retry that succeeds produces a
+    checkpoint bitwise-identical to an undisturbed one.
+    """
     tracker = session.tracker
     field_kind, field_params = field_to_arrays(tracker.field)
     rng_state = json.dumps(tracker._rng.bit_generator.state, default=int)
@@ -86,10 +148,14 @@ def save_checkpoint(session: TrackingSession, path: _PathLike) -> Path:
         arrays[f"weights_{user}"] = samples.weights
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    with tmp.open("wb") as handle:
-        np.savez_compressed(handle, **arrays)
-    tmp.replace(path)  # atomic: a kill mid-write never corrupts the old one
+    if retry_policy is None:
+        _atomic_write(path, arrays)
+    else:
+        call_with_retry(
+            lambda: _atomic_write(path, arrays),
+            retry_policy,
+            label=f"checkpoint write {path}",
+        )
     return path
 
 
@@ -111,39 +177,56 @@ def load_checkpoint(
     users onto wrong signatures.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as data:
-        require_keys(data, _REQUIRED_KEYS, path)
-        require_format(data, CHECKPOINT_FORMAT, path, kind="checkpoint")
-        session_id = str(data["session_id"])
-        field = field_from_arrays(str(data["field_kind"]), data["field_params"])
-        sniffer_positions = data["sniffer_positions"]
-        config = TrackerConfig(**json.loads(str(data["config_json"])))
-        rng_state = json.loads(str(data["rng_state_json"]))
-        t_last = data["t_last"]
-        counters = json.loads(str(data["counters_json"]))
-        user_count = t_last.shape[0]
-        miss_counts = (
-            np.asarray(data["miss_counts"], dtype=np.int64)
-            if "miss_counts" in data
-            else np.zeros(user_count, dtype=np.int64)
-        )
-        require_keys(
-            data,
-            [f"positions_{u}" for u in range(user_count)]
-            + [f"weights_{u}" for u in range(user_count)],
-            path,
-        )
-        sample_sets = []
-        for user in range(user_count):
-            samples = UserSamples(
-                positions=data[f"positions_{user}"],
-                weights=data[f"weights_{user}"],
-                t_last=float(t_last[user]),
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            require_keys(data, _REQUIRED_KEYS, path)
+            require_format(data, CHECKPOINT_FORMAT, path, kind="checkpoint")
+            session_id = str(data["session_id"])
+            field = field_from_arrays(
+                str(data["field_kind"]), data["field_params"]
             )
-            # __post_init__ renormalizes; restore the exact stored
-            # weights so resumed estimates stay bitwise identical.
-            samples.weights = np.asarray(data[f"weights_{user}"], dtype=float)
-            sample_sets.append(samples)
+            sniffer_positions = data["sniffer_positions"]
+            config = TrackerConfig(**json.loads(str(data["config_json"])))
+            rng_state = json.loads(str(data["rng_state_json"]))
+            t_last = data["t_last"]
+            counters = json.loads(str(data["counters_json"]))
+            user_count = t_last.shape[0]
+            miss_counts = (
+                np.asarray(data["miss_counts"], dtype=np.int64)
+                if "miss_counts" in data
+                else np.zeros(user_count, dtype=np.int64)
+            )
+            require_keys(
+                data,
+                [f"positions_{u}" for u in range(user_count)]
+                + [f"weights_{u}" for u in range(user_count)],
+                path,
+            )
+            sample_sets = []
+            for user in range(user_count):
+                samples = UserSamples(
+                    positions=data[f"positions_{user}"],
+                    weights=data[f"weights_{user}"],
+                    t_last=float(t_last[user]),
+                )
+                # __post_init__ renormalizes; restore the exact stored
+                # weights so resumed estimates stay bitwise identical.
+                samples.weights = np.asarray(
+                    data[f"weights_{user}"], dtype=float
+                )
+                sample_sets.append(samples)
+    except ConfigurationError:
+        raise  # already typed (missing keys, format mismatch, bad field)
+    except FileNotFoundError:
+        raise  # absent is a distinct condition, not a corrupt file
+    except (zipfile.BadZipFile, OSError, EOFError, KeyError, ValueError,
+            TypeError) as exc:
+        # Torn writes, truncated zips, garbage JSON, wrong-shape arrays:
+        # one typed error naming the file, never a raw parser traceback.
+        raise ConfigurationError(
+            f"{path}: corrupt or truncated checkpoint "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
 
     # Construct with a throwaway RNG: __init__ draws the uniform prior,
     # which would advance the restored stream. The real generator (and

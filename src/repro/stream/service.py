@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Callable, Optional, Union
 
 from repro.errors import ConfigurationError
+from repro.faults.streams import wrap_observation_stream
 from repro.stream.checkpoint import load_checkpoint, save_checkpoint
 from repro.stream.session import TrackingSession, TruthProvider
 from repro.stream.sources import ObservationSource
@@ -55,6 +56,34 @@ def resume_or_create(
     return session
 
 
+def _drop_replayed_prefix(iterator, last_time: float, max_drop: int):
+    """Drop the leading windows a killed run already folded in.
+
+    The cursor is the checkpointed ``last_time``, not the consumed
+    count alone: the killed run may have consumed windows the replay
+    does not contain (duplicated deliveries, transient junk), so a
+    pure count skip can silently jump past never-processed windows.
+    The drop is bounded both ways — at most ``max_drop`` (the consumed
+    count) windows go, and only ones the session's out-of-order guard
+    would reject anyway (``time <= last_time``); everything else is
+    re-offered and the session counts it.
+    """
+    dropped = 0
+    for observation in iterator:
+        if dropped < max_drop:
+            time = getattr(observation, "time", None)
+            try:
+                stale = time is not None and float(time) <= last_time
+            except (TypeError, ValueError):
+                stale = False
+            if stale:
+                dropped += 1
+                continue
+        yield observation
+        break
+    yield from iterator
+
+
 def run_stream(
     source: ObservationSource,
     session: TrackingSession,
@@ -63,6 +92,7 @@ def run_stream(
     max_windows: Optional[int] = None,
     fast_forward: bool = True,
     on_step: Optional[Callable[[TrackingSession, object], None]] = None,
+    retry_policy=None,
 ) -> TrackingSession:
     """Pump a source through a session until exhaustion (or ``max_windows``).
 
@@ -85,12 +115,21 @@ def run_stream(
         for tests and bounded batch jobs); ``None`` runs to exhaustion.
     fast_forward:
         When the session has already consumed windows (a resumed run),
-        discard that many leading windows from the source before
-        processing. Leave on for replayable sources; turn off for live
-        feeds that never repeat old windows.
+        discard the leading windows whose time is at or before the
+        checkpointed ``last_time`` before processing (by-count when no
+        window was ever processed). Leave on for replayable sources;
+        turn off for live feeds that never repeat old windows.
     on_step:
         Observer called as ``on_step(session, step_or_none)`` after each
         consumed window (``None`` for skipped windows).
+    retry_policy:
+        Optional :class:`~repro.faults.RetryPolicy` for the checkpoint
+        writes (transient I/O failures re-attempt the atomic write).
+
+    When a fault plan is armed (:func:`repro.faults.injected`), the
+    source is routed through :func:`repro.faults.wrap_observation_stream`
+    so stalled/duplicated/torn windows exercise the session's
+    skip-and-count contract.
     """
     if checkpoint_every < 0:
         raise ConfigurationError(
@@ -100,12 +139,17 @@ def run_stream(
         raise ConfigurationError(
             f"max_windows must be >= 0, got {max_windows}"
         )
-    iterator = iter(source)
+    iterator = iter(wrap_observation_stream(iter(source)))
     if fast_forward and session.windows_consumed > 0:
-        # Consume-and-discard is source-agnostic and exact for replays:
-        # the session already accounted these windows before the kill.
-        next(islice(iterator, session.windows_consumed,
-                    session.windows_consumed), None)
+        if session.last_time is not None:
+            iterator = _drop_replayed_prefix(
+                iterator, session.last_time, session.windows_consumed
+            )
+        else:
+            # Nothing was ever processed (the killed run consumed only
+            # junk) — no time cursor exists, skip by count instead.
+            next(islice(iterator, session.windows_consumed,
+                        session.windows_consumed), None)
     consumed_this_run = 0
     try:
         while max_windows is None or consumed_this_run < max_windows:
@@ -122,8 +166,10 @@ def run_stream(
                 and checkpoint_every > 0
                 and session.windows_consumed % checkpoint_every == 0
             ):
-                save_checkpoint(session, checkpoint_path)
+                save_checkpoint(session, checkpoint_path,
+                                retry_policy=retry_policy)
     finally:
         if checkpoint_path is not None:
-            save_checkpoint(session, checkpoint_path)
+            save_checkpoint(session, checkpoint_path,
+                            retry_policy=retry_policy)
     return session

@@ -13,7 +13,9 @@ simply widens the next prediction disc.
 
 from __future__ import annotations
 
+import logging
 import time as _time
+from collections import Counter
 from typing import Callable, Optional
 
 import numpy as np
@@ -26,6 +28,8 @@ from repro.traffic.measurement import FluxObservation
 #: Optional ground-truth lookup: window time -> (K, 2) true positions
 #: (or None when truth is unknown for that window).
 TruthProvider = Callable[[float], Optional[np.ndarray]]
+
+_LOG = logging.getLogger(__name__)
 
 
 class TrackingSession:
@@ -68,6 +72,8 @@ class TrackingSession:
         self.last_time: Optional[float] = None
         self.windows_consumed = 0  # every observation offered, good or bad
         self.last_step: Optional[TrackerStep] = None
+        self.step_errors: Counter = Counter()  # exception type -> count
+        self.last_error: Optional[str] = None  # "Type: message" of newest
 
     # ------------------------------------------------------------------
     def validate(self, observation: object) -> Optional[str]:
@@ -106,9 +112,19 @@ class TrackingSession:
         started = _time.perf_counter()
         try:
             step = self.tracker.step(observation)
-        except Exception:
+        except Exception as exc:
             # A single pathological window must not kill the service;
             # the tracker state is unchanged on step entry failures.
+            # The failure is still *observed*: logged with traceback,
+            # typed into step_errors, surfaced in summary() — a
+            # systematically failing tracker was invisible before.
+            self.step_errors[type(exc).__name__] += 1
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            _LOG.warning(
+                "session %s: tracker step failed on window t=%s; "
+                "skipping it", self.session_id, observation.time,
+                exc_info=True,
+            )
             self.metrics.record_skip(self.SKIP_STEP_FAILED)
             return None
         latency = _time.perf_counter() - started
@@ -141,5 +157,7 @@ class TrackingSession:
             "session_id": self.session_id,
             "windows_consumed": self.windows_consumed,
             "last_time": self.last_time,
+            "step_errors": dict(self.step_errors),
+            "last_error": self.last_error,
             **self.metrics.to_dict(),
         }

@@ -1,0 +1,79 @@
+"""Seeded random fault plans for the chaos harness.
+
+Every generator here produces plans that are *recoverable by
+construction*: the services under test run with a 3-attempt
+:class:`~repro.faults.RetryPolicy`, so a plan may throw at most
+``MAX_ATTEMPTS - 1 = 2`` faults into any single retried call. The
+chaos tests then get to assert full-strength invariants — every reply
+ok, results bitwise-identical to the no-fault run — rather than the
+weaker "something typed came back".
+
+Unrecoverable shapes (unlimited crash faults, exhausted budgets) are
+covered deterministically in tests/test_resilience.py instead, where
+the expected typed failure can be pinned down exactly.
+"""
+
+import numpy as np
+
+from repro.faults import FaultPlan, FaultSpec
+
+#: Retry budget the chaos services run with; plans stay under it.
+MAX_ATTEMPTS = 3
+
+
+def random_serve_plan(seed):
+    """A serve-side plan the batch-fuse retry always absorbs.
+
+    Faults land only in the fused kernel pass: ``serve.batch.fuse``
+    fires at the top of :func:`fuse_pool_kernels`, and
+    ``engine.kernel.transient`` is pinned to ``skip=0`` so its budget
+    is consumed by the *first* kernel evaluation of the run — which is
+    that same retried fused pass, never an unguarded per-request
+    solve. Combined budgets never exceed MAX_ATTEMPTS - 1 failures.
+    """
+    rng = np.random.default_rng(seed)
+    fuse_times, kernel_times = [(1, 0), (2, 0), (1, 1), (0, 1), (0, 2)][
+        int(rng.integers(5))
+    ]
+    specs = []
+    if fuse_times:
+        # skip only when the kernel site is quiet: a deferred fuse
+        # fault must not stack on top of kernel faults in a later call.
+        skip = int(rng.integers(0, 3)) if kernel_times == 0 else 0
+        specs.append(FaultSpec("serve.batch.fuse", times=fuse_times, skip=skip))
+    if kernel_times:
+        specs.append(
+            FaultSpec("engine.kernel.transient", times=kernel_times, skip=0)
+        )
+    return FaultPlan(specs, seed=seed)
+
+
+def random_stream_plan(seed):
+    """A stream-side plan that perturbs delivery, not tracker state.
+
+    Duplicated windows are skipped as out-of-order and stalls only
+    cost (fake-clock) time, so estimates stay bitwise-identical to the
+    clean run; torn windows are excluded here because losing a window
+    legitimately changes the trajectory (they get their own test).
+    Checkpoint faults stay within the writer's retry budget.
+    """
+    rng = np.random.default_rng(seed)
+    specs = []
+    if rng.random() < 0.8:
+        specs.append(FaultSpec(
+            "stream.source.duplicate",
+            times=int(rng.integers(1, 3)),
+            skip=int(rng.integers(0, 4)),
+        ))
+    if rng.random() < 0.5:
+        specs.append(FaultSpec(
+            "stream.source.stall", times=1,
+            skip=int(rng.integers(0, 3)), delay_s=0.001,
+        ))
+    if rng.random() < 0.6:
+        specs.append(FaultSpec("checkpoint.partial_write", times=1))
+    if rng.random() < 0.4:
+        specs.append(FaultSpec("checkpoint.fsync", times=1))
+    if not specs:  # never hand back a vacuous plan
+        specs.append(FaultSpec("stream.source.duplicate", times=1))
+    return FaultPlan(specs, seed=seed)

@@ -1,0 +1,152 @@
+"""Chaos sweep over the streaming path: seeded delivery + durability faults.
+
+Invariants asserted under every plan:
+
+* estimates bitwise-identical to the clean run (duplicates are skipped,
+  stalls only cost time, torn writes are retried);
+* the checkpoint file is either absent or loads as a valid, resumable
+  checkpoint — never a hybrid (atomic rename);
+* every injected delivery fault is visible in the skip counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjected
+from repro.faults import FaultPlan, FaultSpec, RetryPolicy, injected
+from repro.network import sample_sniffers_percentage
+from repro.smc import SequentialMonteCarloTracker, TrackerConfig
+from repro.stream import (
+    ReplaySource,
+    SyntheticLiveSource,
+    TrackingSession,
+    run_stream,
+)
+from repro.stream.checkpoint import load_checkpoint, save_checkpoint
+
+from .plans import MAX_ATTEMPTS, random_stream_plan
+
+SEEDS = range(25)
+_CFG = TrackerConfig(prediction_count=100, keep_count=5)
+_RETRIES = RetryPolicy(
+    max_attempts=MAX_ATTEMPTS, base_delay_s=0.0, max_delay_s=0.0
+)
+
+
+@pytest.fixture(scope="module")
+def scenario(small_network):
+    sniffers = sample_sniffers_percentage(small_network, 20, rng=1)
+    source = SyntheticLiveSource(
+        small_network, sniffers, user_count=2, rounds=6, rng=2
+    )
+    observations = list(source)
+
+    def make_tracker(seed=31):
+        return SequentialMonteCarloTracker(
+            small_network.field,
+            small_network.positions[sniffers],
+            user_count=2,
+            config=_CFG,
+            rng=seed,
+        )
+
+    return observations, make_tracker
+
+
+@pytest.fixture(scope="module")
+def baseline(scenario):
+    observations, make_tracker = scenario
+    session = TrackingSession("clean", make_tracker())
+    run_stream(ReplaySource(observations), session)
+    return session.estimates()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_plan_preserves_estimates_bitwise(
+    scenario, baseline, seed, tmp_path
+):
+    observations, make_tracker = scenario
+    plan = random_stream_plan(seed)
+    path = tmp_path / "chaos.ckpt.npz"
+    session = TrackingSession("chaos", make_tracker())
+    with injected(plan):
+        run_stream(
+            ReplaySource(observations), session,
+            checkpoint_path=path, retry_policy=_RETRIES,
+        )
+
+    np.testing.assert_array_equal(session.estimates(), baseline)
+
+    # Delivery faults are observable, not silent: every duplicated
+    # window shows up as an out-of-order skip.
+    duplicated = plan.fired("stream.source.duplicate")
+    assert session.metrics.windows_skipped.get("out_of_order", 0) == duplicated
+    assert session.windows_consumed == len(observations) + duplicated
+
+    # Torn checkpoint writes were retried within budget; whatever was
+    # published is a complete checkpoint, never a hybrid.
+    assert path.exists()
+    restored = load_checkpoint(path)
+    assert restored.session_id == "chaos"
+    assert restored.windows_consumed == session.windows_consumed
+
+
+@pytest.mark.parametrize("seed", [0, 7, 19])
+def test_chaos_interrupt_then_resume_lands_identically(
+    scenario, baseline, seed, tmp_path
+):
+    """Kill mid-stream under faults, resume disarmed, land bitwise on
+    the clean trajectory — checkpoints carry the full tracker state."""
+    observations, make_tracker = scenario
+    plan = random_stream_plan(seed)
+    path = tmp_path / "resume.ckpt.npz"
+    first = TrackingSession("run", make_tracker())
+    with injected(plan):
+        run_stream(
+            ReplaySource(observations), first,
+            checkpoint_path=path, max_windows=3, retry_policy=_RETRIES,
+        )
+    assert path.exists()
+
+    from repro.stream import resume_or_create
+
+    second = resume_or_create(
+        path, lambda: TrackingSession("run", make_tracker())
+    )
+    assert second.windows_consumed == 3
+    run_stream(ReplaySource(observations), second)
+    np.testing.assert_array_equal(second.estimates(), baseline)
+
+
+@pytest.mark.parametrize("seed", [1, 5])
+def test_torn_windows_are_counted_not_silent(scenario, seed, tmp_path):
+    observations, make_tracker = scenario
+    plan = FaultPlan(
+        [FaultSpec("stream.source.torn", times=2, skip=1)], seed=seed
+    )
+    session = TrackingSession("torn", make_tracker())
+    with injected(plan):
+        run_stream(ReplaySource(observations), session)
+    assert plan.fired("stream.source.torn") == 2
+    assert session.metrics.windows_skipped.get("arity_mismatch", 0) == 2
+    assert session.metrics.windows_processed == len(observations) - 2
+
+
+def test_unretried_torn_write_keeps_previous_checkpoint(scenario, tmp_path):
+    """Without a retry policy the torn write surfaces — and the
+    previously published checkpoint stays bitwise intact."""
+    observations, make_tracker = scenario
+    path = tmp_path / "torn.ckpt.npz"
+    session = TrackingSession("torn-write", make_tracker())
+    for obs in observations[:2]:
+        session.process(obs)
+    save_checkpoint(session, path)
+    before = path.read_bytes()
+    for obs in observations[2:]:
+        session.process(obs)
+    plan = FaultPlan([FaultSpec("checkpoint.partial_write", times=None)])
+    with injected(plan):
+        with pytest.raises(FaultInjected):
+            save_checkpoint(session, path)
+    assert path.read_bytes() == before
+    assert load_checkpoint(path).windows_consumed == 2

@@ -1,0 +1,362 @@
+"""Unit tests of the repro.faults primitives: plans, clock, retries.
+
+The chaos harness (tests/chaos/) exercises these against the full
+pipeline; here each primitive's own contract is pinned down —
+determinism, counting, JSON round-trips, bounded backoff, and the
+zero-overhead-disarmed fast path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, FaultInjected, RetriesExhausted
+from repro.faults import (
+    KNOWN_SITES,
+    FakeClock,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    active_plan,
+    call_with_retry,
+    clock,
+    injected,
+    should_fire,
+    torn_observation,
+    wrap_observation_stream,
+)
+from repro.traffic.measurement import FluxObservation
+
+SITE = "engine.kernel.transient"
+
+
+class TestFaultSpec:
+    def test_defaults_are_single_transient(self):
+        spec = FaultSpec(SITE)
+        assert spec.times == 1
+        assert spec.probability == 1.0
+        assert spec.skip == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"times": 0},
+            {"probability": 0.0},
+            {"probability": 1.5},
+            {"delay_s": -1.0},
+            {"skip": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(SITE, **kwargs)
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("")
+
+
+class TestFaultPlan:
+    def test_unknown_site_rejected_strict(self):
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            FaultPlan([FaultSpec("no.such.site")])
+
+    def test_unknown_site_allowed_lax(self):
+        plan = FaultPlan([FaultSpec("custom.site")], strict=False)
+        assert plan.should_fire("custom.site") is not None
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            FaultPlan([FaultSpec(SITE), FaultSpec(SITE)])
+
+    def test_times_budget(self):
+        plan = FaultPlan([FaultSpec(SITE, times=2)])
+        outcomes = [plan.should_fire(SITE) is not None for _ in range(5)]
+        assert outcomes == [True, True, False, False, False]
+        assert plan.fired(SITE) == 2
+        assert plan.opportunities(SITE) == 5
+
+    def test_skip_defers_firing(self):
+        plan = FaultPlan([FaultSpec(SITE, times=1, skip=3)])
+        outcomes = [plan.should_fire(SITE) is not None for _ in range(5)]
+        assert outcomes == [False, False, False, True, False]
+
+    def test_unlimited_times(self):
+        plan = FaultPlan([FaultSpec(SITE, times=None)])
+        assert all(plan.should_fire(SITE) is not None for _ in range(10))
+
+    def test_unlisted_site_never_fires(self):
+        plan = FaultPlan([FaultSpec(SITE)])
+        assert plan.should_fire("serve.batch.fuse") is None
+        assert plan.opportunities("serve.batch.fuse") == 0
+
+    def test_probability_deterministic_per_seed(self):
+        def firing_pattern(seed):
+            plan = FaultPlan(
+                [FaultSpec(SITE, times=None, probability=0.5)], seed=seed
+            )
+            return [plan.should_fire(SITE) is not None for _ in range(32)]
+
+        assert firing_pattern(7) == firing_pattern(7)
+        assert firing_pattern(7) != firing_pattern(8)
+        assert any(firing_pattern(7))
+        assert not all(firing_pattern(7))
+
+    def test_sites_draw_independent_streams(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(SITE, times=None, probability=0.5),
+                FaultSpec("serve.batch.fuse", times=None, probability=0.5),
+            ],
+            seed=3,
+        )
+        a = [plan.should_fire(SITE) is not None for _ in range(64)]
+        b = [plan.should_fire("serve.batch.fuse") is not None
+             for _ in range(64)]
+        assert a != b  # crc32(site) separates the streams
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [FaultSpec(SITE, times=3, probability=0.25, delay_s=0.5, skip=2)],
+            seed=99,
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored.seed == 99
+        assert restored.spec(SITE) == plan.spec(SITE)
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "plan.json"
+        FaultPlan([FaultSpec(SITE)], seed=4).save(path)
+        assert FaultPlan.load(path).seed == 4
+
+    def test_load_missing_is_typed(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            FaultPlan.load(tmp_path / "absent.json")
+
+    def test_load_garbage_is_typed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match=str(path)):
+            FaultPlan.load(path)
+
+    def test_summary_is_json_ready(self):
+        plan = FaultPlan([FaultSpec(SITE, times=1)])
+        plan.should_fire(SITE)
+        plan.should_fire(SITE)
+        assert plan.summary() == {
+            SITE: {"fired": 1, "opportunities": 2}
+        }
+
+
+class TestArming:
+    def test_disarmed_by_default(self):
+        assert active_plan() is None
+        assert should_fire(SITE) is None
+
+    def test_injected_scopes_the_plan(self):
+        plan = FaultPlan([FaultSpec(SITE)])
+        with injected(plan):
+            assert active_plan() is plan
+            assert should_fire(SITE) is not None
+        assert active_plan() is None
+
+    def test_injected_none_is_noop(self):
+        with injected(None):
+            assert active_plan() is None
+
+    def test_injected_restores_on_error(self):
+        plan = FaultPlan([FaultSpec(SITE)])
+        with pytest.raises(RuntimeError):
+            with injected(plan):
+                raise RuntimeError("boom")
+        assert active_plan() is None
+
+    def test_all_known_sites_are_wired(self):
+        # Every registry entry corresponds to a real call site; grepping
+        # the source keeps the table and the code from drifting apart.
+        import pathlib
+
+        import repro
+
+        root = pathlib.Path(repro.__file__).parent
+        source = "\n".join(
+            p.read_text()
+            for p in root.rglob("*.py")
+            if p.name != "plan.py"  # the registry itself doesn't count
+        )
+        for site in KNOWN_SITES:
+            assert f'"{site}"' in source, f"{site} has no call site"
+
+
+class TestClock:
+    def test_system_clock_is_default(self):
+        assert clock.current_clock() is clock.SYSTEM
+
+    def test_fake_clock_advances_on_sleep(self):
+        fake = FakeClock(start=100.0)
+        fake.sleep(2.5)
+        assert fake.monotonic() == 102.5
+        assert fake.sleeps == [2.5]
+
+    def test_installed_scopes_and_restores(self):
+        fake = FakeClock()
+        with clock.installed(fake):
+            assert clock.monotonic() == 0.0
+            fake.advance(5.0)
+            assert clock.monotonic() == 5.0
+        assert clock.current_clock() is clock.SYSTEM
+
+
+class TestRetryPolicy:
+    def test_backoff_curve_is_capped(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.01,
+                             multiplier=2.0, max_delay_s=0.03, jitter=0.0)
+        delays = [policy.delay_s(k) for k in range(4)]
+        assert delays == [0.01, 0.02, 0.03, 0.03]
+
+    def test_jitter_draws_from_given_rng_only(self):
+        policy = RetryPolicy(jitter=0.5)
+        assert policy.delay_s(0) == policy.base_delay_s  # no rng: exact
+        rng = np.random.default_rng(0)
+        jittered = policy.delay_s(0, rng)
+        assert 0.5 * policy.base_delay_s <= jittered <= 1.5 * policy.base_delay_s
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"multiplier": 0.5},
+            {"max_delay_s": 0.001, "base_delay_s": 0.01},
+            {"jitter": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestCallWithRetry:
+    def test_success_needs_no_clock(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert call_with_retry(lambda: 42, policy) == 42
+
+    def test_transient_absorbed(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise FaultInjected("transient")
+            return "ok"
+
+        fake = FakeClock()
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.01,
+                             multiplier=2.0, max_delay_s=1.0, jitter=0.0)
+        assert call_with_retry(flaky, policy, clock=fake) == "ok"
+        assert len(attempts) == 3
+        assert fake.sleeps == [0.01, 0.02]
+
+    def test_exhaustion_is_typed_and_chained(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                             max_delay_s=0.0)
+        with pytest.raises(RetriesExhausted, match="2 attempts") as info:
+            call_with_retry(
+                lambda: (_ for _ in ()).throw(FaultInjected("still down")),
+                policy, clock=FakeClock(), label="unit op",
+            )
+        assert isinstance(info.value.__cause__, FaultInjected)
+        assert "unit op" in str(info.value)
+
+    def test_non_transient_propagates_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("a bug, not weather")
+
+        with pytest.raises(ValueError):
+            call_with_retry(broken, RetryPolicy(max_attempts=5),
+                            clock=FakeClock())
+        assert len(calls) == 1
+
+    def test_on_retry_observer(self):
+        seen = []
+
+        def flaky():
+            if not seen:
+                raise FaultInjected("once")
+            return 1
+
+        call_with_retry(
+            flaky, RetryPolicy(max_attempts=2, base_delay_s=0.0,
+                               max_delay_s=0.0),
+            clock=FakeClock(),
+            on_retry=lambda attempt, exc: seen.append((attempt, type(exc))),
+        )
+        assert seen == [(0, FaultInjected)]
+
+    def test_uses_installed_clock_by_default(self):
+        fake = FakeClock()
+        with clock.installed(fake):
+            flag = []
+
+            def flaky():
+                if not flag:
+                    flag.append(1)
+                    raise FaultInjected("once")
+                return 1
+
+            call_with_retry(
+                flaky,
+                RetryPolicy(max_attempts=2, base_delay_s=3.0,
+                            max_delay_s=3.0, jitter=0.0),
+            )
+        assert fake.sleeps == [3.0]
+
+
+def _observation(t, n=6):
+    values = np.linspace(1.0, 2.0, n)
+    return FluxObservation(
+        time=float(t), sniffers=np.arange(n), values=values,
+        raw_values=values.copy(),
+    )
+
+
+class TestStreamInjection:
+    def test_torn_observation_halves_readings(self):
+        obs = _observation(1.0, n=6)
+        torn = torn_observation(obs)
+        assert torn.sniffers.shape == (3,)
+        assert torn.values.shape == (3,)
+        assert torn.time == obs.time
+        assert obs.sniffers.shape == (6,)  # original untouched
+
+    def test_wrap_is_identity_when_disarmed(self):
+        source = [_observation(t) for t in range(3)]
+        assert wrap_observation_stream(source) is source
+
+    def test_duplicate_and_torn(self):
+        source = [_observation(t) for t in range(1, 5)]
+        plan = FaultPlan([
+            FaultSpec("stream.source.duplicate", times=1),
+            FaultSpec("stream.source.torn", times=1, skip=2),
+        ])
+        with injected(plan):
+            out = list(wrap_observation_stream(source))
+        # Window 1 duplicated; window 3 (skip=2) torn and the intact
+        # copy lost; windows 2 and 4 untouched.
+        times = [o.time for o in out]
+        arities = [o.sniffers.shape[0] for o in out]
+        assert times == [1.0, 1.0, 2.0, 3.0, 4.0]
+        assert arities == [6, 6, 6, 3, 6]
+
+    def test_stall_sleeps_on_faults_clock(self):
+        fake = FakeClock()
+        source = [_observation(1.0)]
+        plan = FaultPlan(
+            [FaultSpec("stream.source.stall", times=1, delay_s=4.0)]
+        )
+        with clock.installed(fake), injected(plan):
+            out = list(wrap_observation_stream(source))
+        assert len(out) == 1
+        assert fake.sleeps == [4.0]

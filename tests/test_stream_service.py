@@ -104,9 +104,9 @@ class TestRunStream:
 
         original = service_module.save_checkpoint
 
-        def spy(session, target):
+        def spy(session, target, **kwargs):
             writes.append(session.windows_consumed)
-            return original(session, target)
+            return original(session, target, **kwargs)
 
         session = TrackingSession("svc", make_tracker())
         try:
