@@ -663,6 +663,209 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    import threading
+    import time
+
+    from repro.errors import ConfigurationError
+    from repro.fleet import ServeFleet
+    from repro.serve import LocalizeRequest, MetricsServer, TrackStepRequest
+
+    gen = as_generator(args.seed)
+    net = _network_from(args)
+
+    fmap = None
+    if args.map:
+        from repro.fpmap import FingerprintMap
+
+        try:
+            fmap = FingerprintMap.load(args.map)
+        except ConfigurationError as exc:
+            print(f"cannot use map {args.map}: {exc}", file=sys.stderr)
+            return 1
+        sniffers = np.asarray(fmap.sniffer_ids, dtype=np.int64)
+        if sniffers.size and sniffers.max() >= net.node_count:
+            print(
+                f"cannot use map {args.map}: sniffer ids exceed the "
+                f"{net.node_count}-node network (different deployment args?)",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        sniffers = sample_sniffers_percentage(net, args.percentage, rng=gen)
+
+    try:
+        fleet = ServeFleet(
+            net.field,
+            net.positions[sniffers],
+            d_floor=fmap.d_floor if fmap is not None else 1.0,
+            workers=args.fleet_workers,
+            fingerprint_map=fmap,
+            map_resolution=args.map_resolution if fmap is None else None,
+            map_mode=args.map_mode,
+            cluster_cells=args.cluster_cells,
+            checkpoint_dir=args.checkpoint_dir,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1000.0,
+            queue_capacity=args.queue_capacity,
+            admission_policy=args.policy,
+            engine_workers=args.workers,
+            engine_chunk_size=args.chunk_size,
+        )
+    except ConfigurationError as exc:
+        print(f"cannot build fleet: {exc}", file=sys.stderr)
+        return 1
+    try:
+        plan = _load_fault_plan(args)
+    except ConfigurationError as exc:
+        print(f"cannot load fault plan {args.fault_plan}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    # Pre-generate every client's workload on the main thread (the RNG
+    # is not shared with the submission threads).
+    measure = MeasurementModel(net, sniffers, smooth=True, rng=gen)
+    localize_work = []  # (client, requests, truths)
+    for c in range(args.clients):
+        requests, truths = [], []
+        for r in range(args.requests):
+            truth, stretches = _place_users(net, args.users, gen)
+            flux = simulate_flux(net, list(truth), list(stretches), rng=gen)
+            requests.append(
+                LocalizeRequest(
+                    request_id=f"c{c}-r{r}",
+                    client_id=f"client-{c}",
+                    observation=measure.observe(flux),
+                    user_count=args.users,
+                    candidate_count=args.candidates,
+                    restarts=args.restarts,
+                    seed=int(gen.integers(2**31)),
+                )
+            )
+            truths.append(truth)
+        localize_work.append((f"client-{c}", requests, truths))
+
+    track_work = []  # (session_id, seed, observations)
+    for t in range(args.track_sessions):
+        from repro.stream import SyntheticLiveSource
+
+        live = SyntheticLiveSource(
+            net,
+            sniffers,
+            user_count=args.users,
+            rounds=args.requests,
+            rng=gen,
+        )
+        track_work.append((f"track-{t}", int(gen.integers(2**31)), list(live)))
+
+    lock = threading.Lock()
+    ok_replies, error_codes, errors = [], [], []
+
+    def run_localize(client_id, requests, truths):
+        for request, truth in zip(requests, truths):
+            reply = fleet.submit(request).result()
+            with lock:
+                if reply.ok:
+                    ok_replies.append(reply)
+                    errors.append(reply.result.errors_to(truth).mean())
+                else:
+                    error_codes.append(reply.code)
+
+    def run_track(session_id, seed, observations):
+        for r, obs in enumerate(observations):
+            reply = fleet.submit(
+                TrackStepRequest(
+                    request_id=f"{session_id}-r{r}",
+                    client_id=session_id,
+                    session_id=session_id,
+                    observation=obs,
+                )
+            ).result()
+            with lock:
+                if reply.ok:
+                    ok_replies.append(reply)
+                else:
+                    error_codes.append(reply.code)
+
+    threads = [
+        threading.Thread(target=run_localize, args=work, name=work[0])
+        for work in localize_work
+    ] + [
+        threading.Thread(target=run_track, args=work, name=work[0])
+        for work in track_work
+    ]
+    map_tag = (
+        f" ({args.map_mode} map)" if fleet.fingerprint_map is not None else ""
+    )
+    print(
+        f"fleet of {args.fleet_workers} workers serving "
+        f"{len(localize_work)} localize clients x {args.requests} requests "
+        f"+ {len(track_work)} tracking sessions on "
+        f"{sniffers.size}/{net.node_count} sniffed nodes{map_tag}; "
+        f"max_batch={args.max_batch} policy={args.policy}"
+    )
+    from repro.faults import injected
+
+    # Arm only across start(): forked workers inherit the armed plan,
+    # so worker-side sites (fleet.worker.exit) fire in the children.
+    # Disarm before driving traffic — replacements forked at failover
+    # must start clean, or each one re-fires the fault and dies again
+    # until the redelivery limit gives up.
+    with injected(plan):
+        fleet.start()
+    try:
+        endpoint = None
+        if args.metrics_port is not None:
+            endpoint = MetricsServer(fleet=fleet, port=args.metrics_port)
+            print(f"metrics on http://127.0.0.1:{endpoint.start()}/metrics")
+        for session_id, seed, _ in track_work:
+            fleet.open_session(session_id, args.users, seed=seed)
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        snapshot = fleet.fleet_snapshot()
+        if endpoint is not None:
+            endpoint.stop()
+    finally:
+        fleet.stop()
+    if plan is not None:
+        print(f"fault plan: {plan.summary()}")
+
+    total = len(ok_replies) + len(error_codes)
+    rps = total / elapsed if elapsed > 0 else float("nan")
+    router = snapshot["router"]
+    print(
+        f"{total} replies in {elapsed:.2f}s ({rps:.0f} req/s aggregate): "
+        f"{len(ok_replies)} ok, {len(error_codes)} errors; "
+        f"{router['worker_deaths']} worker deaths, "
+        f"{router['redeliveries']} redeliveries, "
+        f"{router['migrations']} migrations"
+    )
+    if error_codes:
+        from collections import Counter
+
+        for code, count in sorted(Counter(error_codes).items()):
+            print(f"  {code}: {count}")
+    if errors:
+        print(f"mean localization error {np.mean(errors):.2f}")
+    import json
+
+    from repro.serve.metrics import _nan_safe_deep
+
+    metrics_json = json.dumps(
+        _nan_safe_deep(snapshot), indent=2, sort_keys=True
+    )
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(metrics_json + "\n")
+        print(f"wrote fleet metrics to {args.metrics_out}")
+    else:
+        print(metrics_json)
+    return 0
+
+
 def cmd_defend(args) -> int:
     from repro.countermeasures import defense_tradeoff
 

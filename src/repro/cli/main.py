@@ -295,6 +295,115 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=commands.cmd_serve)
 
     p = sub.add_parser(
+        "fleet",
+        help="run the sharded multi-process serving fleet under a "
+        "synthetic multi-client load",
+    )
+    _network_args(p)
+    _engine_args(p)
+    p.add_argument(
+        "--percentage", type=float, default=20.0, help="%% of nodes sniffed"
+    )
+    p.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=2,
+        help="worker processes (each its own scheduler + engine)",
+    )
+    p.add_argument(
+        "--clients", type=int, default=8, help="concurrent logical clients"
+    )
+    p.add_argument(
+        "--requests", type=int, default=10, help="requests per client"
+    )
+    p.add_argument(
+        "--users", type=int, default=1, help="users fitted per request"
+    )
+    p.add_argument("--candidates", type=int, default=128)
+    p.add_argument("--restarts", type=int, default=1)
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="per-worker micro-batch size cap",
+    )
+    p.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="per-worker micro-batch linger",
+    )
+    p.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=1024,
+        help="per-worker admission queue bound",
+    )
+    p.add_argument(
+        "--policy",
+        choices=["reject", "block"],
+        default="reject",
+        help="admission policy when a worker's queue is full",
+    )
+    p.add_argument(
+        "--map",
+        default=None,
+        help="seed candidate pools from this fingerprint map "
+        "(repro build-map output; its sniffer set replaces --percentage)",
+    )
+    p.add_argument(
+        "--map-resolution",
+        type=float,
+        default=None,
+        help="build the deployment's map at this resolution before serving",
+    )
+    p.add_argument(
+        "--map-mode",
+        choices=["full", "sharded"],
+        default="full",
+        help="full: every worker shares the whole map (bitwise parity); "
+        "sharded: each worker loads only its spatial cluster shard",
+    )
+    p.add_argument(
+        "--cluster-cells",
+        type=int,
+        default=4,
+        help="grid cells per spatial cluster side (sharded mode)",
+    )
+    p.add_argument(
+        "--track-sessions",
+        type=int,
+        default=0,
+        help="open this many tracking sessions (consistent-hash placed) "
+        "and interleave track-step requests",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="session checkpoint directory (failover + migration state; "
+        "default: private temp dir)",
+    )
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="expose the fleet snapshot on GET /metrics "
+        "(/metrics?worker=<id> for one worker; 0 = ephemeral port)",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the final fleet snapshot JSON here",
+    )
+    p.add_argument(
+        "--fault-plan",
+        default=None,
+        help="arm this fault-plan JSON before forking workers: "
+        "fleet.worker.exit kills workers mid-load (failover drill)",
+    )
+    p.set_defaults(handler=commands.cmd_fleet)
+
+    p = sub.add_parser(
         "defend", help="evaluate padding / dummy-sink countermeasures"
     )
     _network_args(p)

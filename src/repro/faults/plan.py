@@ -20,6 +20,8 @@ site                      effect at the call site
 ``checkpoint.fsync``      checkpoint fsync raises before the rename
 ``serve.batch.fuse``      the scheduler's fused kernel pass raises
                           mid-batch
+``fleet.worker.exit``     a fleet worker process ``os._exit``\\ s on
+                          request receipt (killed between track steps)
 ======================== ==================================================
 
 Determinism and overhead are the two contracts:
@@ -71,6 +73,7 @@ KNOWN_SITES = (
     "checkpoint.partial_write",
     "checkpoint.fsync",
     "serve.batch.fuse",
+    "fleet.worker.exit",
 )
 
 

@@ -1,0 +1,107 @@
+"""Consistent hashing for session/worker placement.
+
+The fleet router places sessions (and localize clients) on workers by
+consistent hashing: each worker contributes ``replicas`` pseudo-random
+points on a 64-bit ring, and a key is owned by the first worker point
+clockwise of the key's own point. The property the fleet leans on is
+**bounded remapping**: adding or removing one worker from an N-worker
+ring moves only ~1/N of the key space — every other session keeps its
+affinity, so a rebalance migrates the minimum number of live trackers.
+
+Hashes are SHA-1 based and therefore stable across processes, Python
+versions, and runs (``hash()`` would be salted per process) — the
+router and any external client computing placements agree forever.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def _point(token: str) -> int:
+    """Stable 64-bit ring coordinate of a token."""
+    digest = hashlib.sha1(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """A ring of worker ids with virtual-node replication.
+
+    Parameters
+    ----------
+    nodes:
+        Initial worker ids (any hashable rendered via ``str``; the
+        fleet uses small ints).
+    replicas:
+        Virtual points per node. More replicas smooth the key-space
+        split between nodes (64 keeps the per-node share within a few
+        percent of 1/N for small fleets).
+    """
+
+    def __init__(self, nodes: Iterable[object] = (), replicas: int = 64):
+        if replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be >= 1, got {replicas}"
+            )
+        self.replicas = int(replicas)
+        self._points: List[int] = []       # sorted ring coordinates
+        self._owners: Dict[int, object] = {}  # coordinate -> node
+        self._nodes: Dict[object, Tuple[int, ...]] = {}
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> List[object]:
+        return list(self._nodes)
+
+    # ------------------------------------------------------------------
+    def add(self, node: object) -> None:
+        """Insert a node's virtual points (idempotent duplicates refused)."""
+        if node in self._nodes:
+            raise ConfigurationError(f"node {node!r} already on the ring")
+        points = []
+        for replica in range(self.replicas):
+            point = _point(f"{node}#{replica}")
+            # SHA-1 collisions between distinct tokens are effectively
+            # impossible; skip the pathological duplicate rather than
+            # silently re-owning another node's point.
+            if point in self._owners:
+                continue
+            self._owners[point] = node
+            bisect.insort(self._points, point)
+            points.append(point)
+        self._nodes[node] = tuple(points)
+
+    def remove(self, node: object) -> None:
+        if node not in self._nodes:
+            raise ConfigurationError(f"node {node!r} not on the ring")
+        for point in self._nodes.pop(node):
+            del self._owners[point]
+            index = bisect.bisect_left(self._points, point)
+            self._points.pop(index)
+
+    # ------------------------------------------------------------------
+    def owner(self, key: str) -> object:
+        """The node owning ``key`` (first point clockwise of the key)."""
+        if not self._points:
+            raise ConfigurationError("hash ring has no nodes")
+        point = _point(str(key))
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):  # wrap past the top of the ring
+            index = 0
+        return self._owners[self._points[index]]
+
+    def assignments(self, keys: Iterable[str]) -> Dict[str, object]:
+        """Owner of every key — the bulk form used by rebalances."""
+        return {key: self.owner(key) for key in keys}

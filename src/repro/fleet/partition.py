@@ -1,0 +1,128 @@
+"""Spatial cluster partitioning of fingerprint maps for shard fleets.
+
+A fleet worker only answers the traffic routed to it, so in
+``map_mode="sharded"`` it only needs the slice of the fingerprint map
+its traffic actually touches. Cells are grouped into square spatial
+*clusters* (blocks of ``cluster_cells x cluster_cells`` grid cells —
+the wlan-pos ``CLUSTERKEYSIZE`` idiom: fingerprints keyed by a coarse
+cluster key, looked up cluster-locally), and whole clusters are dealt
+to shards in round-robin order of their cluster key. The result is a
+**disjoint cover**: every cell lands in exactly one shard, shards stay
+balanced within one cluster of each other, and each worker's sub-map
+holds ~1/N of the signature matrix.
+
+A sub-map is a full :class:`~repro.fpmap.map.FingerprintMap` — same
+field, same sniffer set, same deployment hash — restricted to the
+shard's cells, so every consumer (seeded localize pools, SMC reseeding,
+``validate_against``) accepts it unchanged. What changes is *coverage*:
+a sharded worker seeds candidates only from its own cells. The default
+fleet mode therefore stays ``"full"`` (every worker shares the whole
+map and replies are bitwise-identical to a single-process service);
+``"sharded"`` is the memory-bound scale-out option and is documented as
+such (docs/ALGORITHMS.md §8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fpmap.map import FingerprintMap
+
+#: Grid cells per cluster side — the coarse "cluster key" granularity
+#: (wlan-pos keys its incremental fingerprint DB the same way).
+DEFAULT_CLUSTER_CELLS = 4
+
+
+def cluster_keys(
+    fmap: FingerprintMap, cluster_cells: int = DEFAULT_CLUSTER_CELLS
+) -> np.ndarray:
+    """``(C,)`` integer cluster key per map cell.
+
+    The key is the (col, row) of the cell's cluster block on a coarse
+    grid of ``cluster_cells * resolution`` spacing anchored at the
+    field's bounding-box origin — purely positional, so any process
+    computing keys for the same map agrees without coordination.
+    """
+    if cluster_cells < 1:
+        raise ConfigurationError(
+            f"cluster_cells must be >= 1, got {cluster_cells}"
+        )
+    xmin, ymin, _, _ = fmap.field.bounding_box
+    block = float(cluster_cells) * float(fmap.resolution)
+    cols = np.floor((fmap.cell_positions[:, 0] - xmin) / block).astype(np.int64)
+    rows = np.floor((fmap.cell_positions[:, 1] - ymin) / block).astype(np.int64)
+    # Dense pairing: rows are bounded by the field extent, so a simple
+    # row-major pairing gives one stable scalar key per block.
+    width = int(cols.max()) + 1 if cols.size else 1
+    return rows * width + cols
+
+
+def shard_cells(
+    fmap: FingerprintMap,
+    shards: int,
+    cluster_cells: int = DEFAULT_CLUSTER_CELLS,
+) -> List[np.ndarray]:
+    """Deal the map's cells to ``shards`` disjoint spatial shards.
+
+    Whole clusters (never single cells) move together, keeping each
+    shard's cells spatially coherent; clusters are assigned round-robin
+    in sorted key order, which balances shard sizes to within one
+    cluster. The union of the returned index arrays is exactly
+    ``arange(cell_count)``.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    keys = cluster_keys(fmap, cluster_cells)
+    unique_keys = np.unique(keys)
+    assignment: Dict[int, int] = {
+        int(key): rank % shards for rank, key in enumerate(unique_keys)
+    }
+    owners = np.array([assignment[int(k)] for k in keys], dtype=np.int64)
+    return [np.flatnonzero(owners == s) for s in range(shards)]
+
+
+def submap(fmap: FingerprintMap, cell_indices: np.ndarray) -> FingerprintMap:
+    """A shard's view of the map: same deployment, subset of cells.
+
+    The slice copies its rows (workers are separate processes; fork
+    gives copy-on-write sharing anyway, and an explicit copy keeps the
+    sub-map valid if the parent map is dropped).
+    """
+    cell_indices = np.asarray(cell_indices, dtype=np.int64)
+    if cell_indices.size == 0:
+        raise ConfigurationError(
+            "shard has no cells; use fewer shards or a finer map"
+        )
+    if cell_indices.min() < 0 or cell_indices.max() >= fmap.cell_count:
+        raise ConfigurationError(
+            f"cell indices out of range for a {fmap.cell_count}-cell map"
+        )
+    return FingerprintMap(
+        field=fmap.field,
+        cell_positions=fmap.cell_positions[cell_indices].copy(),
+        signatures=fmap.signatures[cell_indices].copy(),
+        sniffer_positions=fmap.sniffer_positions,
+        sniffer_ids=fmap.sniffer_ids,
+        resolution=fmap.resolution,
+        d_floor=fmap.d_floor,
+    )
+
+
+def partition_map(
+    fmap: FingerprintMap,
+    shards: int,
+    cluster_cells: int = DEFAULT_CLUSTER_CELLS,
+) -> Tuple[List[FingerprintMap], List[np.ndarray]]:
+    """Split one map into per-shard sub-maps (plus the index cover).
+
+    Returns ``(submaps, cells)`` where ``submaps[s]`` holds exactly the
+    cells ``cells[s]`` of the parent map. ``shards=1`` returns the
+    parent map itself (no copy) — a single-worker fleet pays nothing.
+    """
+    if shards == 1:
+        return [fmap], [np.arange(fmap.cell_count, dtype=np.int64)]
+    cells = shard_cells(fmap, shards, cluster_cells)
+    return [submap(fmap, indices) for indices in cells], cells

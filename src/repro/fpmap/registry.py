@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -50,8 +50,10 @@ class MapRegistry:
         self.capacity = int(capacity)
         self._maps: "OrderedDict[str, FingerprintMap]" = OrderedDict()
         self._locks: dict = {}
+        self._shards: dict = {}  # (deployment, shards, cluster_cells)
         self._lock = threading.Lock()
         self.builds = 0
+        self.partitions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -105,6 +107,7 @@ class MapRegistry:
                 while len(self._maps) > self.capacity:
                     evicted, _ = self._maps.popitem(last=False)
                     self._locks.pop(evicted, None)
+                    self._drop_shards_locked(evicted)
                 self.builds += 1
             return built
 
@@ -117,18 +120,56 @@ class MapRegistry:
             while len(self._maps) > self.capacity:
                 evicted, _ = self._maps.popitem(last=False)
                 self._locks.pop(evicted, None)
+                self._drop_shards_locked(evicted)
         return key
+
+    def get_or_partition(
+        self,
+        fmap: FingerprintMap,
+        shards: int,
+        cluster_cells: int = 4,
+    ) -> List[FingerprintMap]:
+        """Cached spatial partition of a map into ``shards`` sub-maps.
+
+        The fleet router asks for the same partition once per spawn (and
+        again for every respawn-in-slot after a worker death), so the
+        split — whole spatial clusters dealt round-robin, a disjoint
+        cover of the parent's cells (:func:`repro.fleet.partition.
+        partition_map`) — is cached under the deployment hash alongside
+        the parent map and evicted with it.
+        """
+        key = (fmap.deployment, int(shards), int(cluster_cells))
+        with self._lock:
+            cached = self._shards.get(key)
+            if cached is not None:
+                return cached
+        # Runtime import: repro.fleet depends on fpmap at import time;
+        # this direction resolves lazily to keep the layering acyclic.
+        from repro.fleet.partition import partition_map
+
+        submaps, _ = partition_map(fmap, shards, cluster_cells)
+        with self._lock:
+            existing = self._shards.setdefault(key, submaps)
+            if existing is submaps:
+                self.partitions += 1
+            return existing
+
+    def _drop_shards_locked(self, deployment: str) -> None:
+        for key in [k for k in self._shards if k[0] == deployment]:
+            del self._shards[key]
 
     def invalidate(self, deployment: str) -> bool:
         """Drop one deployment's map; returns whether it was present."""
         with self._lock:
             self._locks.pop(deployment, None)
+            self._drop_shards_locked(deployment)
             return self._maps.pop(deployment, None) is not None
 
     def clear(self) -> None:
         with self._lock:
             self._maps.clear()
             self._locks.clear()
+            self._shards.clear()
 
 
 _SHARED = MapRegistry()

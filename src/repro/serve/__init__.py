@@ -26,6 +26,7 @@ from repro.serve.requests import (
     ERROR_REJECTED,
     ERROR_SHUTDOWN,
     ERROR_UNKNOWN_SESSION,
+    ERROR_WORKER_CRASHED,
     ErrorReply,
     LocalizeReply,
     LocalizeRequest,
@@ -50,6 +51,7 @@ __all__ = [
     "ERROR_REJECTED",
     "ERROR_SHUTDOWN",
     "ERROR_UNKNOWN_SESSION",
+    "ERROR_WORKER_CRASHED",
     "ErrorReply",
     "LocalizeReply",
     "LocalizeRequest",

@@ -102,6 +102,14 @@ class AdmissionQueue:
         Optional cap on one client's queued requests. A client at its
         cap is refused (both policies) while other clients are still
         admitted — the fairness backstop against a single flooder.
+    eager_single:
+        Skip the :meth:`take` batch-fill linger when exactly one
+        request is queued. A lone closed-loop client otherwise pays the
+        full ``batch_wait`` on *every* request for a batch that never
+        fills (the 1-client serving regression); with several requests
+        already queued the linger still runs, so fusion under load is
+        unaffected. Off by default — opt-in latency policy, not queue
+        semantics.
     """
 
     def __init__(
@@ -110,6 +118,7 @@ class AdmissionQueue:
         policy: str = "reject",
         block_timeout_s: Optional[float] = 5.0,
         per_client_limit: Optional[int] = None,
+        eager_single: bool = False,
     ):
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
@@ -129,6 +138,7 @@ class AdmissionQueue:
         self.policy = policy
         self.block_timeout_s = block_timeout_s
         self.per_client_limit = per_client_limit
+        self.eager_single = bool(eager_single)
         self._lanes: "OrderedDict[str, Deque[PendingRequest]]" = OrderedDict()
         self._turns: Deque[str] = deque()  # round-robin client order
         self._depth = 0
@@ -227,6 +237,8 @@ class AdmissionQueue:
         with self._cond:
             if not self._wait_nonempty(wait_timeout):
                 return [], []
+            if self.eager_single and self._depth == 1:
+                return self._drain_locked(max_items)
             if batch_wait > 0 and self._depth < max_items:
                 deadline = time.monotonic() + batch_wait
                 while self._depth < max_items and not self._closed:

@@ -19,10 +19,23 @@ import threading
 from collections import Counter
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional
+from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.metrics import LatencyReservoir
+
+
+def _nan_safe_deep(value):
+    """JSON-ready copy: non-finite floats become ``None``, recursively."""
+    if isinstance(value, float) and not np.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _nan_safe_deep(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_nan_safe_deep(v) for v in value]
+    return value
 
 
 class ServerMetrics:
@@ -175,24 +188,45 @@ class ServerMetrics:
 
 
 class MetricsServer:
-    """Minimal HTTP JSON endpoint for a :class:`ServerMetrics`.
+    """Minimal HTTP JSON endpoint for service or fleet metrics.
 
-    Serves ``GET /metrics`` (the snapshot JSON) and ``GET /healthz``
-    (``{"status": "ok"}``) from a daemon thread — enough for a scrape
-    target or a curl during a load test, with zero dependencies.
+    Serves from a daemon thread — enough for a scrape target or a curl
+    during a load test, with zero dependencies:
+
+    ``GET /metrics``
+        Single-service mode: the flat :meth:`ServerMetrics.snapshot`
+        JSON (unchanged). Fleet mode: the merged fleet snapshot —
+        ``{"router": ..., "workers": {...}, "aggregate": ...}`` —
+        instead of one flat blob.
+    ``GET /metrics?worker=<id>``
+        Fleet mode: exactly one worker's snapshot (its flat service
+        metrics plus pid and open sessions); 404 for an unknown or
+        unreachable worker, and in single-service mode.
+    ``GET /healthz``
+        ``{"status": "ok"}``.
 
     Parameters
     ----------
     metrics:
-        The metrics object to expose.
+        A :class:`ServerMetrics` to expose (single-service mode).
+    fleet:
+        A :class:`repro.fleet.ServeFleet` (or anything with
+        ``fleet_snapshot()`` / ``worker_snapshot(id)``) to expose
+        instead. Exactly one of ``metrics`` / ``fleet`` must be given.
     host / port:
         Bind address; ``port=0`` picks a free port (see :attr:`port`
         after :meth:`start`).
     """
 
-    def __init__(self, metrics: ServerMetrics, host: str = "127.0.0.1",
-                 port: int = 0):
+    def __init__(self, metrics: Optional[ServerMetrics] = None,
+                 host: str = "127.0.0.1", port: int = 0, fleet=None):
+        if (metrics is None) == (fleet is None):
+            raise ConfigurationError(
+                "pass exactly one of metrics= (a ServerMetrics) or "
+                "fleet= (a ServeFleet)"
+            )
         self.metrics = metrics
+        self.fleet = fleet
         self.host = host
         self._requested_port = int(port)
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -208,12 +242,44 @@ class MetricsServer:
     def start(self) -> int:
         """Bind, spawn the serving thread, return the bound port."""
         metrics = self.metrics
+        fleet = self.fleet
+
+        def _dump(payload) -> bytes:
+            return json.dumps(
+                _nan_safe_deep(payload), indent=2, sort_keys=True
+            ).encode()
 
         class _Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - http.server API
-                if self.path in ("/metrics", "/"):
-                    body = metrics.to_json().encode()
-                elif self.path == "/healthz":
+                parsed = urlparse(self.path)
+                if parsed.path in ("/metrics", "/"):
+                    query = parse_qs(parsed.query)
+                    worker = query.get("worker")
+                    if worker is not None:
+                        if fleet is None:
+                            self.send_error(
+                                404, "no fleet behind this endpoint"
+                            )
+                            return
+                        try:
+                            worker_id = int(worker[0])
+                        except ValueError:
+                            self.send_error(
+                                400, f"worker must be an id, got {worker[0]!r}"
+                            )
+                            return
+                        snap = fleet.worker_snapshot(worker_id)
+                        if snap is None:
+                            self.send_error(
+                                404, f"no reachable worker {worker_id}"
+                            )
+                            return
+                        body = _dump(snap)
+                    elif fleet is not None:
+                        body = _dump(fleet.fleet_snapshot())
+                    else:
+                        body = metrics.to_json().encode()
+                elif parsed.path == "/healthz":
                     body = b'{"status": "ok"}'
                 else:
                     self.send_error(404)

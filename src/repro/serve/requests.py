@@ -20,7 +20,9 @@ from repro.errors import (
     AdmissionError,
     ConfigurationError,
     DeadlineExpired,
+    ReproError,
     ServeError,
+    WorkerCrashed,
 )
 from repro.fingerprint.results import LocalizationResult
 from repro.traffic.measurement import FluxObservation
@@ -33,6 +35,7 @@ ERROR_DEADLINE_EXPIRED = "deadline_expired"
 ERROR_SHUTDOWN = "shutdown"
 ERROR_UNKNOWN_SESSION = "unknown_session"
 ERROR_INTERNAL = "internal"
+ERROR_WORKER_CRASHED = "worker_crashed"
 
 _ERROR_TYPES = {
     ERROR_REJECTED: AdmissionError,
@@ -41,6 +44,9 @@ _ERROR_TYPES = {
     ERROR_SHUTDOWN: AdmissionError,
     ERROR_UNKNOWN_SESSION: ServeError,
     ERROR_INTERNAL: ServeError,
+    # Fleet-level: the owning worker process died and redelivery to its
+    # replacement kept failing past the redelivery limit.
+    ERROR_WORKER_CRASHED: WorkerCrashed,
 }
 
 
@@ -185,7 +191,7 @@ class ErrorReply:
     """Typed error reply: every failed request gets exactly one.
 
     ``code`` is one of the module-level ``ERROR_*`` constants; it maps
-    to a :class:`~repro.errors.ServeError` subclass via
+    to a :class:`~repro.errors.ReproError` subclass via
     :meth:`to_exception` for callers that prefer raising.
     """
 
@@ -207,10 +213,10 @@ class ErrorReply:
         return False
 
     @property
-    def exception_type(self) -> Type[ServeError]:
+    def exception_type(self) -> Type[ReproError]:
         return _ERROR_TYPES[self.code]
 
-    def to_exception(self) -> ServeError:
+    def to_exception(self) -> ReproError:
         detail = f": {self.message}" if self.message else ""
         return self.exception_type(
             f"request {self.request_id!r} ({self.code}){detail}"

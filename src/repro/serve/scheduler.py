@@ -515,6 +515,9 @@ class MicroBatchScheduler:
             return
         batch_size = len(live)
         engine = self.governor.current_engine()
+        if batch_size == 1:
+            self._process_one(live[0], engine, taken_at)
+            return
 
         localize = [i for i in live if isinstance(i.request, LocalizeRequest)]
         track = [i for i in live if isinstance(i.request, TrackStepRequest)]
@@ -589,6 +592,55 @@ class MicroBatchScheduler:
             self._complete_localize(plan.item, result, batch_size, taken_at)
 
         self._process_track(track, batch_size, taken_at)
+
+    def _process_one(self, item: PendingRequest, engine, taken_at: float) -> None:
+        """Singleton fast path: a drained batch of one skips the
+        cross-request fusion bookkeeping (prematch stacking, arity
+        grouping) and dispatches straight through. The reply is
+        identical by construction — the steps below are the exact
+        functions the batched path runs over lists of one, and every
+        request's RNG streams are private — so only the dispatch
+        overhead goes away.
+        """
+        if isinstance(item.request, TrackStepRequest):
+            self.metrics.record_batch(1, self.queue.depth(), 0)
+            self._process_track([item], 1, taken_at)
+            return
+        prematch = None
+        if _fused_match_eligible(self.fingerprint_map, item.request):
+            try:
+                prematch = fuse_map_matches(
+                    self.fingerprint_map, [item]
+                ).get(id(item))
+            except Exception as exc:
+                _LOG.warning(
+                    "fused prematch failed (%s: %s); falling back to "
+                    "per-request matching", type(exc).__name__, exc,
+                )
+                self.metrics.record_internal_fault("serve.prematch")
+        try:
+            plan = plan_localize(
+                self.localizer, self.fingerprint_map, item, prematch=prematch
+            )
+            fused_rows = self._fused_kernels([plan], engine)
+        except Exception as exc:
+            self.metrics.record_batch(1, self.queue.depth(), 0)
+            self._complete_error(
+                item, ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+            return
+        self.metrics.record_batch(1, self.queue.depth(), fused_rows)
+        try:
+            if plan.request.user_count == 1:
+                result = solve_single_user_fused([plan])[0]
+            else:
+                result = solve_multi_user(plan, engine=engine)
+        except Exception as exc:
+            self._complete_error(
+                item, ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+            return
+        self._complete_localize(item, result, 1, taken_at)
 
     def _fused_kernels(self, plans: List[_LocalizePlan], engine) -> int:
         """The fused kernel pass under the resilience ladder.

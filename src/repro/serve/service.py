@@ -85,6 +85,10 @@ class LocalizationService:
     queue_capacity / admission_policy / block_timeout_s / per_client_limit:
         Admission control (see :class:`~repro.serve.admission.
         AdmissionQueue`).
+    eager_single:
+        On by default for a service: a lone queued request dispatches
+        without the batch-fill linger (the 1-client latency fix); the
+        linger still runs whenever two or more requests are queued.
     metrics:
         Optional externally owned :class:`ServerMetrics`.
     retry_policy:
@@ -114,6 +118,7 @@ class LocalizationService:
         admission_policy: str = "reject",
         block_timeout_s: Optional[float] = 5.0,
         per_client_limit: Optional[int] = None,
+        eager_single: bool = True,
         metrics: Optional[ServerMetrics] = None,
         idle_wait_s: float = 0.05,
         retry_policy=_DEFAULT_RETRIES,
@@ -155,6 +160,7 @@ class LocalizationService:
             policy=admission_policy,
             block_timeout_s=block_timeout_s,
             per_client_limit=per_client_limit,
+            eager_single=eager_single,
         )
         self.scheduler = MicroBatchScheduler(
             localizer=self.localizer,

@@ -1,0 +1,144 @@
+"""Spatial cluster partitioning of fingerprint maps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import cluster_keys, partition_map, shard_cells, submap
+from repro.fpmap import build_fingerprint_map
+from repro.geometry import RectangularField
+from repro.network import build_network, sample_sniffers_percentage
+
+
+@pytest.fixture(scope="module")
+def fmap():
+    net = build_network(
+        field=RectangularField(10, 10), node_count=100, radius=2.2, rng=5
+    )
+    sniffers = sample_sniffers_percentage(net, 25, rng=2)
+    return build_fingerprint_map(
+        net.field, net.positions[sniffers], resolution=1.0
+    )
+
+
+class TestClusterKeys:
+    def test_one_key_per_cell(self, fmap):
+        keys = cluster_keys(fmap, cluster_cells=4)
+        assert keys.shape == (fmap.cell_count,)
+
+    def test_cells_in_same_block_share_a_key(self, fmap):
+        keys = cluster_keys(fmap, cluster_cells=4)
+        xmin, ymin, _, _ = fmap.field.bounding_box
+        block = 4 * fmap.resolution
+        for cell in (0, fmap.cell_count // 2, fmap.cell_count - 1):
+            same = np.flatnonzero(keys == keys[cell])
+            cols = np.floor(
+                (fmap.cell_positions[same, 0] - xmin) / block
+            )
+            rows = np.floor(
+                (fmap.cell_positions[same, 1] - ymin) / block
+            )
+            assert len(set(cols)) == 1 and len(set(rows)) == 1
+
+    def test_invalid_cluster_cells(self, fmap):
+        with pytest.raises(ConfigurationError):
+            cluster_keys(fmap, cluster_cells=0)
+
+
+class TestShardCells:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4])
+    def test_disjoint_cover(self, fmap, shards):
+        cells = shard_cells(fmap, shards)
+        assert len(cells) == shards
+        merged = np.concatenate(cells)
+        assert sorted(merged) == list(range(fmap.cell_count))
+        assert len(set(merged.tolist())) == fmap.cell_count
+
+    def test_whole_clusters_move_together(self, fmap):
+        keys = cluster_keys(fmap, cluster_cells=4)
+        for shard, indices in enumerate(shard_cells(fmap, 3)):
+            shard_keys = set(keys[indices].tolist())
+            # Every cell of each of this shard's clusters is here.
+            member = np.isin(keys, list(shard_keys))
+            assert np.array_equal(np.flatnonzero(member), indices), shard
+
+    def test_shards_hold_balanced_cluster_counts(self, fmap):
+        # Round-robin deals whole clusters, so shard sizes balance in
+        # *clusters* (cells only approximately: boundary blocks are
+        # smaller than interior ones).
+        keys = cluster_keys(fmap, cluster_cells=4)
+        counts = [
+            len(set(keys[indices].tolist()))
+            for indices in shard_cells(fmap, 4)
+        ]
+        assert max(counts) - min(counts) <= 1
+        assert min(len(c) for c in shard_cells(fmap, 4)) > 0
+
+    def test_invalid_shards(self, fmap):
+        with pytest.raises(ConfigurationError):
+            shard_cells(fmap, 0)
+
+
+class TestSubmap:
+    def test_submap_is_a_valid_map_of_the_same_deployment(self, fmap):
+        cells = shard_cells(fmap, 2)[0]
+        shard = submap(fmap, cells)
+        assert shard.deployment == fmap.deployment
+        shard.validate_against(
+            fmap.field, fmap.sniffer_positions, fmap.d_floor
+        )
+        np.testing.assert_array_equal(
+            shard.cell_positions, fmap.cell_positions[cells]
+        )
+        np.testing.assert_array_equal(
+            shard.signatures, fmap.signatures[cells]
+        )
+
+    def test_submap_rows_are_copies(self, fmap):
+        shard = submap(fmap, np.arange(4))
+        shard.signatures[0, 0] += 1.0
+        assert shard.signatures[0, 0] != fmap.signatures[0, 0]
+
+    def test_empty_shard_refused(self, fmap):
+        with pytest.raises(ConfigurationError):
+            submap(fmap, np.array([], dtype=np.int64))
+
+    def test_out_of_range_cells_refused(self, fmap):
+        with pytest.raises(ConfigurationError):
+            submap(fmap, np.array([fmap.cell_count]))
+
+
+class TestPartitionMap:
+    def test_single_shard_returns_parent_uncopied(self, fmap):
+        submaps, cells = partition_map(fmap, 1)
+        assert submaps[0] is fmap
+        np.testing.assert_array_equal(cells[0], np.arange(fmap.cell_count))
+
+    def test_partition_covers_every_cell_exactly_once(self, fmap):
+        submaps, cells = partition_map(fmap, 3)
+        assert sum(m.cell_count for m in submaps) == fmap.cell_count
+        merged = np.sort(np.concatenate(cells))
+        np.testing.assert_array_equal(merged, np.arange(fmap.cell_count))
+
+
+class TestRegistryIntegration:
+    def test_get_or_partition_caches_shards(self, fmap):
+        from repro.fpmap import MapRegistry
+
+        registry = MapRegistry()
+        registry.register(fmap)
+        first = registry.get_or_partition(fmap, 2)
+        second = registry.get_or_partition(fmap, 2)
+        assert [a is b for a, b in zip(first, second)] == [True, True]
+        assert registry.partitions >= 1
+
+    def test_invalidate_drops_shards(self, fmap):
+        from repro.fpmap import MapRegistry
+
+        registry = MapRegistry()
+        registry.register(fmap)
+        first = registry.get_or_partition(fmap, 2)
+        registry.invalidate(fmap.deployment)
+        registry.register(fmap)
+        again = registry.get_or_partition(fmap, 2)
+        assert first[0] is not again[0]

@@ -1,0 +1,326 @@
+"""Fleet router end-to-end: routing, parity, metrics, HTTP endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ServeError
+from repro.fleet import ServeFleet
+from repro.fpmap import build_fingerprint_map
+from repro.geometry import RectangularField
+from repro.network import build_network, sample_sniffers_percentage
+from repro.serve import (
+    ERROR_SHUTDOWN,
+    ERROR_UNKNOWN_SESSION,
+    LocalizationService,
+    LocalizeRequest,
+    MetricsServer,
+    ServerMetrics,
+    TrackStepRequest,
+)
+from repro.traffic import MeasurementModel, simulate_flux
+
+USERS = 2
+STEPS = 4
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    net = build_network(
+        field=RectangularField(8, 8), node_count=64, radius=2.0, rng=11
+    )
+    sniffers = sample_sniffers_percentage(net, 25, rng=3)
+    fmap = build_fingerprint_map(
+        net.field, net.positions[sniffers], resolution=1.0
+    )
+    gen = np.random.default_rng(17)
+    measure = MeasurementModel(net, sniffers, smooth=True, rng=gen)
+    localizes = []
+    for r in range(6):
+        truth = net.field.sample_uniform(1, gen)
+        flux = simulate_flux(
+            net, list(truth), [float(gen.uniform(1.0, 3.0))], rng=gen
+        )
+        localizes.append(LocalizeRequest(
+            request_id=f"r{r}", client_id=f"c{r % 3}",
+            observation=measure.observe(flux), candidate_count=24,
+            seed=int(gen.integers(2**31)),
+        ))
+    truth = net.field.sample_uniform(USERS, gen)
+    stream = [
+        measure.observe(
+            simulate_flux(net, list(truth), [1.5, 2.5], rng=gen),
+            time=float(step),
+        )
+        for step in range(STEPS)
+    ]
+    return net, sniffers, fmap, localizes, stream
+
+
+def _fleet(scenario, workers=2, **kwargs):
+    net, sniffers, fmap, _, _ = scenario
+    return ServeFleet(
+        net.field, net.positions[sniffers], workers=workers,
+        fingerprint_map=fmap, max_batch=8, max_wait_s=0.001, **kwargs
+    )
+
+
+def _steps(stream, session_id="s0"):
+    return [
+        TrackStepRequest(
+            request_id=f"{session_id}-t{i}", client_id="tracker",
+            session_id=session_id, observation=obs,
+        )
+        for i, obs in enumerate(stream)
+    ]
+
+
+def _fit_payload(reply):
+    return [
+        (f.positions.tobytes(), f.thetas.tobytes(), float(f.objective))
+        for f in reply.result.fits
+    ]
+
+
+class TestEndToEnd:
+    def test_two_workers_serve_localize_and_track(self, scenario):
+        _, _, _, localizes, stream = scenario
+        with _fleet(scenario) as fleet:
+            assert sorted(fleet.worker_ids) == [0, 1]
+            fleet.open_session("s0", USERS, seed=7)
+            assert fleet.session_ids == ["s0"]
+            futures = [fleet.submit(r) for r in localizes]
+            replies = [f.result(timeout=120) for f in futures]
+            track = [
+                fleet.call(r, timeout=120) for r in _steps(stream)
+            ]
+        assert all(r.ok for r in replies)
+        assert [r.request_id for r in replies] == [
+            r.request_id for r in localizes
+        ]
+        assert all(r.ok and r.step is not None for r in track)
+
+    def test_localize_affinity_follows_the_ring(self, scenario):
+        from repro.fleet import ConsistentHashRing
+
+        _, _, _, localizes, _ = scenario
+        # The router places localize traffic by ring.owner(client_id);
+        # an external ring with the same nodes predicts every route.
+        ring = ConsistentHashRing([0, 1])
+        expected = {}
+        for request in localizes:
+            owner = ring.owner(request.client_id)
+            expected[owner] = expected.get(owner, 0) + 1
+        with _fleet(scenario) as fleet:
+            for request in localizes:
+                fleet.call(request, timeout=120)
+            snapshot = fleet.fleet_snapshot()
+        routed = snapshot["router"]["routed"]
+        assert {int(k): v for k, v in routed.items()} == expected
+
+
+class TestSingleProcessParity:
+    def test_localize_replies_bitwise_match_single_service(self, scenario):
+        net, sniffers, fmap, localizes, _ = scenario
+        with _fleet(scenario) as fleet:
+            fleet_replies = [
+                _fit_payload(fleet.call(r, timeout=120)) for r in localizes
+            ]
+        with LocalizationService(
+            net.field, net.positions[sniffers], fingerprint_map=fmap,
+            max_batch=8, max_wait_s=0.001,
+        ) as service:
+            solo_replies = [
+                _fit_payload(service.call(r, timeout=120))
+                for r in localizes
+            ]
+        assert fleet_replies == solo_replies
+
+    def test_track_stream_bitwise_matches_single_service(self, scenario):
+        net, sniffers, fmap, _, stream = scenario
+        with _fleet(scenario) as fleet:
+            fleet.open_session("s0", USERS, seed=7)
+            fleet_estimates = [
+                fleet.call(r, timeout=120).estimates.tobytes()
+                for r in _steps(stream)
+            ]
+        with LocalizationService(
+            net.field, net.positions[sniffers], fingerprint_map=fmap,
+            max_batch=8, max_wait_s=0.001,
+        ) as service:
+            service.open_session("s0", USERS, rng=7)
+            solo_estimates = [
+                service.call(r, timeout=120).estimates.tobytes()
+                for r in _steps(stream)
+            ]
+        assert fleet_estimates == solo_estimates
+
+
+class TestSessionsAndErrors:
+    def test_unknown_session_is_a_typed_error(self, scenario):
+        _, _, _, _, stream = scenario
+        with _fleet(scenario) as fleet:
+            reply = fleet.submit(_steps(stream, "ghost")[0]).result(
+                timeout=60
+            )
+        assert not reply.ok
+        assert reply.code == ERROR_UNKNOWN_SESSION
+        with pytest.raises(ServeError):
+            raise reply.to_exception()
+
+    def test_duplicate_session_refused(self, scenario):
+        with _fleet(scenario) as fleet:
+            fleet.open_session("s0", USERS)
+            with pytest.raises(ConfigurationError):
+                fleet.open_session("s0", USERS)
+
+    def test_close_session_frees_the_id(self, scenario):
+        with _fleet(scenario) as fleet:
+            fleet.open_session("s0", USERS)
+            fleet.close_session("s0")
+            assert fleet.session_ids == []
+            fleet.open_session("s0", USERS)
+
+    def test_submit_after_stop_is_shutdown_error(self, scenario):
+        _, _, _, localizes, _ = scenario
+        fleet = _fleet(scenario)
+        fleet.start()
+        fleet.stop()
+        reply = fleet.submit(localizes[0]).result(timeout=60)
+        assert not reply.ok and reply.code == ERROR_SHUTDOWN
+
+    def test_migrate_session_moves_ownership(self, scenario):
+        _, _, _, _, stream = scenario
+        with _fleet(scenario) as fleet:
+            fleet.open_session("s0", USERS, seed=7)
+            owner = fleet.session_owner("s0")
+            target = next(w for w in fleet.worker_ids if w != owner)
+            fleet.call(_steps(stream)[0], timeout=120)
+            fleet.migrate_session("s0", target)
+            assert fleet.session_owner("s0") == target
+            reply = fleet.call(_steps(stream)[1], timeout=120)
+            assert reply.ok
+            assert fleet.fleet_snapshot()["router"]["migrations"] == 1
+
+
+class TestMetricsAggregation:
+    def test_fleet_snapshot_sums_worker_counters(self, scenario):
+        import time
+
+        _, _, _, localizes, _ = scenario
+        with _fleet(scenario) as fleet:
+            for request in localizes:
+                fleet.call(request, timeout=120)
+            # The worker records replies_ok just after resolving the
+            # future that ships the reply, so give its counter a beat.
+            deadline = time.monotonic() + 10.0
+            while True:
+                snapshot = fleet.fleet_snapshot()
+                ok = snapshot["aggregate"]["replies_ok"]
+                if ok == len(localizes) or time.monotonic() > deadline:
+                    break
+                time.sleep(0.05)
+        workers = snapshot["workers"]
+        aggregate = snapshot["aggregate"]
+        assert aggregate["workers_reporting"] == 2
+        assert aggregate["workers_unreachable"] == 0
+        summed = sum(
+            w["metrics"]["replies_ok"] for w in workers.values()
+        )
+        assert aggregate["replies_ok"] == summed == len(localizes)
+        assert snapshot["router"]["replies_ok"] == len(localizes)
+
+    def test_worker_snapshot_has_identity_and_sessions(self, scenario):
+        with _fleet(scenario) as fleet:
+            fleet.open_session("s0", USERS)
+            owner = fleet.session_owner("s0")
+            snap = fleet.worker_snapshot(owner)
+        assert snap["worker_id"] == owner
+        assert snap["pid"] > 0
+        assert "s0" in snap["sessions"]
+
+    def test_unknown_worker_snapshot_is_none(self, scenario):
+        with _fleet(scenario) as fleet:
+            assert fleet.worker_snapshot(99) is None
+
+
+class TestMetricsServerFleetMode:
+    def _get(self, port, path):
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=30
+        ) as response:
+            return json.loads(response.read())
+
+    def test_fleet_endpoints(self, scenario):
+        _, _, _, localizes, _ = scenario
+        with _fleet(scenario) as fleet:
+            fleet.call(localizes[0], timeout=120)
+            with MetricsServer(fleet=fleet) as server:
+                merged = self._get(server.port, "/metrics")
+                per_worker = self._get(server.port, "/metrics?worker=0")
+                with pytest.raises(urllib.error.HTTPError) as absent:
+                    self._get(server.port, "/metrics?worker=99")
+                with pytest.raises(urllib.error.HTTPError) as bad:
+                    self._get(server.port, "/metrics?worker=abc")
+        assert set(merged) == {"router", "workers", "aggregate"}
+        assert merged["aggregate"]["workers_reporting"] == 2
+        assert per_worker["worker_id"] == 0
+        assert absent.value.code == 404
+        assert bad.value.code == 400
+
+    def test_single_service_mode_unchanged(self, scenario):
+        metrics = ServerMetrics()
+        metrics.record_submit()
+        with MetricsServer(metrics) as server:
+            flat = self._get(server.port, "/metrics")
+            with pytest.raises(urllib.error.HTTPError) as refused:
+                self._get(server.port, "/metrics?worker=0")
+        assert flat["requests_submitted"] == 1
+        assert refused.value.code == 404
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ConfigurationError):
+            MetricsServer()
+        with pytest.raises(ConfigurationError):
+            MetricsServer(ServerMetrics(), fleet=object())
+
+
+class TestRebalance:
+    def test_add_worker_migrates_only_remapped_sessions(self, scenario):
+        with _fleet(scenario) as fleet:
+            for i in range(6):
+                fleet.open_session(f"s{i}", USERS, seed=i)
+            before = {
+                sid: fleet.session_owner(sid) for sid in fleet.session_ids
+            }
+            new_id = fleet.add_worker()
+            after = {
+                sid: fleet.session_owner(sid) for sid in fleet.session_ids
+            }
+            moved = [sid for sid in before if before[sid] != after[sid]]
+            # Affinity: every move lands on the new worker, the rest stay.
+            assert all(after[sid] == new_id for sid in moved)
+            assert len(moved) < len(before)
+            assert (
+                fleet.fleet_snapshot()["router"]["migrations"]
+                == len(moved)
+            )
+
+    def test_remove_worker_rehomes_its_sessions(self, scenario):
+        with _fleet(scenario, workers=3) as fleet:
+            for i in range(6):
+                fleet.open_session(f"s{i}", USERS, seed=i)
+            victim = fleet.session_owner("s0")
+            fleet.remove_worker(victim)
+            assert victim not in fleet.worker_ids
+            owners = {
+                fleet.session_owner(sid) for sid in fleet.session_ids
+            }
+            assert victim not in owners
+            # The rehomed sessions still serve steps.
+            _, _, _, _, stream = scenario
+            reply = fleet.call(_steps(stream, "s0")[0], timeout=120)
+            assert reply.ok

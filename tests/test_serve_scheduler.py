@@ -247,3 +247,54 @@ class TestFusedMapMatching:
         values[1, 0] = np.nan
         with pytest.raises(ConfigurationError):
             fmap.match_many(values, [3, 3])
+
+
+class TestSingletonFastPath:
+    """A drained batch of one dispatches through _process_one."""
+
+    def test_lone_request_records_a_size_one_batch(self, scenario):
+        net, sniffers, fmap = scenario
+        probe = _mixed_requests(net, sniffers)[0]
+        service = _service(net, sniffers, fmap, 16)
+        with service:
+            reply = service.call(probe, timeout=60)
+        assert reply.ok and reply.batch_size == 1
+        assert service.metrics.batch_sizes.get(1) == 1
+
+    def test_fast_path_is_bitwise_the_batched_path(self, scenario):
+        # Sequential calls against an idle eager service each drain a
+        # singleton; the same requests fused into one big batch must
+        # produce the same bits (the fast path reuses the exact batched
+        # functions over lists of one).
+        net, sniffers, fmap = scenario
+        requests = _mixed_requests(net, sniffers)
+        service = _service(net, sniffers, fmap, 16)
+        with service:
+            lone = {
+                r.request_id: service.call(r, timeout=60) for r in requests
+            }
+        fused = _replies(_service(net, sniffers, fmap, 16), requests)
+        for request_id, reply in lone.items():
+            assert reply.batch_size == 1, request_id
+            assert _payload(reply) == _payload(fused[request_id]), request_id
+
+    def test_fast_path_handles_track_steps(self, scenario):
+        from repro.serve import TrackStepRequest
+
+        net, sniffers, fmap = scenario
+        obs = _observations(net, sniffers, 3, users=2, seed=40)
+        service = _service(net, sniffers, fmap, 16)
+        with service:
+            service.open_session("s0", 2, rng=3)
+            replies = [
+                service.call(TrackStepRequest(
+                    request_id=f"t{i}", client_id="tracker",
+                    session_id="s0",
+                    observation=FluxObservation(
+                        time=float(i), sniffers=o.sniffers, values=o.values
+                    ),
+                ), timeout=60)
+                for i, o in enumerate(obs)
+            ]
+        assert all(r.ok and r.batch_size == 1 for r in replies)
+        assert all(r.step is not None for r in replies)
