@@ -2,23 +2,28 @@
 
 Drives the :class:`repro.serve.LocalizationService` with 1, 8, and 64
 closed-loop clients over identical pre-generated workloads, once with
-micro-batching enabled (``max_batch=64``) and once degraded to
-per-request dispatch (``max_batch=1`` — same scheduler, same code
+adaptive micro-batching enabled (``max_batch=64``) and once degraded
+to per-request dispatch (``max_batch=1`` — same scheduler, same code
 path, no fusion). The speedup column is the direct value of fusing
 each batch's candidate pools into one engine kernels call and its map
-matches into one einsum. Batching only pays when requests actually
-queue together: the 1-client row honestly shows the linger penalty,
-the 64-client row the amortization.
+matches into one einsum. The adaptive controller's depth-k bypass is
+what keeps the 1-client row from paying a linger penalty; the
+64-client row shows the amortization. Each record also carries both
+sides' p95 so the latency cost of batching is visible, not just the
+throughput win.
 
 Runs under pytest-benchmark like the rest of the suite, or
 standalone::
 
-    PYTHONPATH=src python benchmarks/bench_serve_batching.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_serve_batching.py [--quick] [--gate]
 
-emitting ``BENCH_serve.json`` via the shared runner, with two
+emitting ``BENCH_serve.json`` via the shared runner, with three
 correctness gates in ``meta``: batched replies are bitwise-identical
-(float64) to per-request replies, and deadline-expired requests get
-typed error replies.
+(float64) to per-request replies, the adaptive controller's replies
+are bitwise-identical to the fixed-window scheduler's, and
+deadline-expired requests get typed error replies. ``--gate`` exits
+nonzero if any client count's batched throughput falls below
+unbatched or a correctness gate fails — the CI regression tripwire.
 """
 
 from __future__ import annotations
@@ -42,7 +47,10 @@ from repro.traffic import MeasurementModel, simulate_flux
 
 CLIENT_COUNTS = (1, 8, 64)
 #: Closed-loop requests per client (total grows with the fleet, capped).
-REQUESTS_PER_CLIENT = {1: 64, 8: 32, 64: 8}
+#: The 1-client row is the noisiest ratio (its true value is ~1.0 —
+#: the adaptive bypass makes batched equal per-request dispatch), so
+#: it gets the most samples.
+REQUESTS_PER_CLIENT = {1: 128, 8: 32, 64: 8}
 MAX_BATCH = 64
 MAX_WAIT_S = 0.002
 CANDIDATES = 64
@@ -85,13 +93,14 @@ def _workload(net, sniffers, clients, per_client, seed=5):
     return work
 
 
-def _service(net, sniffers, fingerprint_map, max_batch):
+def _service(net, sniffers, fingerprint_map, max_batch, adaptive=True):
     return LocalizationService(
         net.field,
         net.positions[sniffers],
         fingerprint_map=fingerprint_map,
         max_batch=max_batch,
         max_wait_s=MAX_WAIT_S,
+        adaptive=adaptive,
         queue_capacity=1024,
     )
 
@@ -126,11 +135,13 @@ def _drive(service, work):
     return replies, elapsed
 
 
-def _run_mode(net, sniffers, fmap, work, max_batch):
+def _run_mode(net, sniffers, fmap, work, max_batch, warmup=4):
     with _service(net, sniffers, fmap, max_batch) as service:
-        # Warm the shared caches (map signature norms, numpy dispatch)
-        # outside the timed region; both modes get the same warmup.
-        service.call(work[0][0])
+        # Warm the shared caches (map signature norms, numpy dispatch,
+        # arena/pool steady state) outside the timed region; both modes
+        # get the same warmup.
+        for request in work[0][:warmup]:
+            service.call(request)
         replies, elapsed = _drive(service, work)
     bad = [r for r in replies if not r.ok]
     total = sum(len(requests) for requests in work)
@@ -142,11 +153,35 @@ def _run_mode(net, sniffers, fmap, work, max_batch):
     return replies, elapsed, service.metrics
 
 
+def _best_pair(net, sniffers, fmap, work, repeats):
+    """Fastest-of-``repeats`` run per mode, modes interleaved.
+
+    Best-of is the standard low-noise reduction for closed-loop
+    throughput; interleaving the modes means drift on a busy runner
+    biases neither side of the speedup ratio.
+    """
+    batched = unbatched = None
+    for _ in range(repeats):
+        run_b = _run_mode(net, sniffers, fmap, work, MAX_BATCH)
+        run_u = _run_mode(net, sniffers, fmap, work, 1)
+        if batched is None or run_b[1] < batched[1]:
+            batched = run_b
+        if unbatched is None or run_u[1] < unbatched[1]:
+            unbatched = run_u
+    return batched, unbatched
+
+
 def _record(clients, per_client, batched, unbatched):
     replies_b, elapsed_b, metrics_b = batched
-    replies_u, elapsed_u, _ = unbatched
+    replies_u, elapsed_u, metrics_u = unbatched
     total = len(replies_b)
     quantiles = metrics_b.latency_quantiles()
+    quantiles_u = metrics_u.latency_quantiles()
+    p95_ratio = (
+        quantiles["p95"] / quantiles_u["p95"] if quantiles_u["p95"] else None
+    )
+    snap = metrics_b.snapshot()
+    controller = snap.get("batch_controller", {})
     return {
         "benchmark": "serve_batching",
         "clients": clients,
@@ -161,6 +196,12 @@ def _record(clients, per_client, batched, unbatched):
         "batched_latency_p50_s": quantiles["p50"],
         "batched_latency_p95_s": quantiles["p95"],
         "batched_latency_p99_s": quantiles["p99"],
+        "unbatched_latency_p50_s": quantiles_u["p50"],
+        "unbatched_latency_p95_s": quantiles_u["p95"],
+        "batched_p95_over_unbatched_p95": p95_ratio,
+        "controller_bypasses": controller.get("bypasses"),
+        "controller_windows": controller.get("windows"),
+        "controller_window_mean_s": controller.get("window_mean_s"),
     }
 
 
@@ -186,6 +227,30 @@ def check_bitwise_identity(net, sniffers, fmap) -> bool:
                 for f in futures
             }
     return by_mode[MAX_BATCH] == by_mode[1]
+
+
+def check_adaptive_fixed_parity(net, sniffers, fmap) -> bool:
+    """Adaptive-controller replies == fixed-window replies, bitwise.
+
+    The controller only decides *when* a batch drains and whether
+    fusion is bypassed, never what a request computes — so the same
+    workload through adaptive and fixed-window schedulers must agree
+    on every float64 bit.
+    """
+    work = _workload(net, sniffers, clients=4, per_client=6, seed=97)
+    by_mode = {}
+    for adaptive in (True, False):
+        with _service(
+            net, sniffers, fmap, MAX_BATCH, adaptive=adaptive
+        ) as service:
+            futures = [
+                service.submit(r) for requests in work for r in requests
+            ]
+            by_mode[adaptive] = {
+                f.result().request_id: _fit_payload(f.result().result)
+                for f in futures
+            }
+    return by_mode[True] == by_mode[False]
 
 
 def check_deadline_typed_errors(net, sniffers, fmap) -> bool:
@@ -241,10 +306,16 @@ def test_serve_bitwise_identity(serve_scenario):
     assert check_bitwise_identity(net, sniffers, fmap)
 
 
+def test_serve_adaptive_fixed_parity(serve_scenario):
+    net, sniffers, fmap = serve_scenario
+    assert check_adaptive_fixed_parity(net, sniffers, fmap)
+
+
 def main() -> None:
     from repro.engine import write_bench_json
 
     quick = "--quick" in sys.argv[1:]
+    gate = "--gate" in sys.argv[1:]
     net, sniffers = _scenario()
     fmap = _shared_map(net, sniffers)
     records = []
@@ -253,28 +324,63 @@ def main() -> None:
         if quick:
             per_client = max(2, per_client // 8)
         work = _workload(net, sniffers, clients, per_client)
-        batched = _run_mode(net, sniffers, fmap, work, MAX_BATCH)
-        unbatched = _run_mode(net, sniffers, fmap, work, 1)
+        batched, unbatched = _best_pair(
+            net, sniffers, fmap, work, repeats=1 if quick else 5
+        )
         record = _record(clients, per_client, batched, unbatched)
         records.append(record)
         print(json.dumps(record))
     meta = {
         "max_batch": MAX_BATCH,
         "max_wait_s": MAX_WAIT_S,
+        "adaptive": True,
+        "fusion_min_depth": 2,
+        "target_p95_s": None,
         "candidate_count": CANDIDATES,
         "seed_top_k": SEED_TOP_K,
         "top_m": TOP_M,
         "map_resolution": 1.0,
         "quick": quick,
         "bitwise_identical": check_bitwise_identity(net, sniffers, fmap),
+        "adaptive_fixed_parity": check_adaptive_fixed_parity(
+            net, sniffers, fmap
+        ),
         "deadline_typed_errors": check_deadline_typed_errors(
             net, sniffers, fmap
         ),
     }
     print(json.dumps({k: meta[k] for k in
-                      ("bitwise_identical", "deadline_typed_errors")}))
+                      ("bitwise_identical", "adaptive_fixed_parity",
+                       "deadline_typed_errors")}))
     path = write_bench_json("serve", records, meta=meta)
     print(f"wrote {path}")
+    if gate:
+        # Strict batched >= unbatched wherever fusion actually engaged
+        # (mean batch >= 2). Where the controller bypassed fusion the
+        # batched path IS per-request dispatch — the true ratio is 1.0
+        # — so those rows only need to sit within the measurement noise
+        # floor of a shared-CPU runner.
+        noise_floor = 0.97
+        failures = []
+        for r in records:
+            fused = r["batched_mean_batch_size"] >= 2.0
+            floor = 1.0 if fused else noise_floor
+            if r["batched_rps"] < floor * r["unbatched_rps"]:
+                failures.append(
+                    f"clients={r['clients']}: batched_rps "
+                    f"{r['batched_rps']:.1f} < {floor:g} * unbatched_rps "
+                    f"{r['unbatched_rps']:.1f}"
+                )
+        failures += [
+            f"correctness gate failed: {k}"
+            for k in ("bitwise_identical", "adaptive_fixed_parity",
+                      "deadline_typed_errors")
+            if not meta[k]
+        ]
+        if failures:
+            print("GATE FAILED:\n  " + "\n  ".join(failures))
+            raise SystemExit(1)
+        print("GATE PASSED: batched throughput holds at every client count")
 
 
 if __name__ == "__main__":

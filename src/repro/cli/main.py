@@ -236,7 +236,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-wait-ms",
         type=float,
         default=2.0,
-        help="micro-batch linger before a partial batch is drained",
+        help="micro-batch linger ceiling before a partial batch is drained",
+    )
+    p.add_argument(
+        "--no-adaptive",
+        action="store_true",
+        help="disable the adaptive batch controller (fixed --max-wait-ms "
+        "linger window instead of arrival-rate sizing)",
+    )
+    p.add_argument(
+        "--target-p95-ms",
+        type=float,
+        default=None,
+        help="SLO hint for the adaptive controller: cap the linger so the "
+        "oldest queued request never ages past half this budget",
+    )
+    p.add_argument(
+        "--fusion-min-depth",
+        type=int,
+        default=2,
+        help="queue depth below which batch fusion is bypassed and "
+        "requests dispatch singly (adaptive mode)",
     )
     p.add_argument(
         "--queue-capacity", type=int, default=512, help="admission queue bound"
@@ -331,7 +351,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-wait-ms",
         type=float,
         default=2.0,
-        help="per-worker micro-batch linger",
+        help="per-worker micro-batch linger ceiling",
+    )
+    p.add_argument(
+        "--no-adaptive",
+        action="store_true",
+        help="disable each worker's adaptive batch controller (fixed "
+        "--max-wait-ms linger window instead of arrival-rate sizing)",
+    )
+    p.add_argument(
+        "--target-p95-ms",
+        type=float,
+        default=None,
+        help="per-worker SLO hint: cap the linger so the oldest queued "
+        "request never ages past half this budget",
+    )
+    p.add_argument(
+        "--fusion-min-depth",
+        type=int,
+        default=2,
+        help="per-worker queue depth below which batch fusion is bypassed",
     )
     p.add_argument(
         "--queue-capacity",

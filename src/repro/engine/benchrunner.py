@@ -93,10 +93,34 @@ def measure(
 
 
 def environment() -> Dict[str, Any]:
+    """Run metadata that makes BENCH_*.json files comparable.
+
+    ``cpus`` is the machine's logical count; ``cpus_available`` is what
+    this process may actually schedule on (CI runners and cgroup limits
+    routinely make it smaller — the number that governs engine speedup).
+    ``git_commit`` pins the code the numbers were measured at.
+    """
+    import os
+    import subprocess
+
     import numpy
 
+    try:
+        cpus_available = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        cpus_available = os.cpu_count()
+    try:
+        git_commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5.0,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        git_commit = None
     return {
-        "cpus": __import__("os").cpu_count(),
+        "cpus": os.cpu_count(),
+        "cpus_available": cpus_available,
+        "git_commit": git_commit,
         "python": platform.python_version(),
         "numpy": numpy.__version__,
         "platform": sys.platform,

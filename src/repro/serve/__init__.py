@@ -16,6 +16,7 @@ from repro.serve.admission import (
     REJECTED,
     TIMED_OUT,
     AdmissionQueue,
+    EnvelopePool,
     PendingRequest,
 )
 from repro.serve.metrics import MetricsServer, ServerMetrics
@@ -33,7 +34,11 @@ from repro.serve.requests import (
     TrackStepReply,
     TrackStepRequest,
 )
-from repro.serve.scheduler import MicroBatchScheduler
+from repro.serve.scheduler import (
+    AdaptiveBatchController,
+    BatchArena,
+    MicroBatchScheduler,
+)
 from repro.serve.service import LocalizationService
 
 __all__ = [
@@ -42,6 +47,7 @@ __all__ = [
     "REJECTED",
     "TIMED_OUT",
     "AdmissionQueue",
+    "EnvelopePool",
     "PendingRequest",
     "MetricsServer",
     "ServerMetrics",
@@ -57,6 +63,8 @@ __all__ = [
     "LocalizeRequest",
     "TrackStepReply",
     "TrackStepRequest",
+    "AdaptiveBatchController",
+    "BatchArena",
     "MicroBatchScheduler",
     "LocalizationService",
 ]

@@ -22,17 +22,32 @@ scheduler, and the service completes them with ``deadline_expired``
 error replies — stale work never reaches the solver and is never
 silently dropped. The scheduler re-checks expiry again at dispatch
 time, so a request whose deadline lapses *between* drain and solve is
-also answered ``deadline_expired`` rather than solved late.
+also answered ``deadline_expired`` rather than solved late. When any
+queued request carries a deadline, draining is additionally
+*SLO-aware*: lane heads whose remaining slack is inside
+``urgent_slack_s`` are pulled earliest-deadline-first ahead of the
+round-robin rotation (lane order stays FIFO, so per-session step
+order is preserved).
 
 Deadline arithmetic (wrap/expired/latency and the drain-time purge)
 reads the injectable faults clock (:mod:`repro.faults.clock`), which
 makes the drain/dispatch race testable with a :class:`~repro.faults.
 FakeClock`; the condition-variable waits below deliberately stay on
 real ``time.monotonic`` so a fake clock can never hang a thread.
+
+The micro-batch linger inside :meth:`take` comes in two flavors: the
+fixed ``batch_wait`` window, and — when the scheduler passes its
+:class:`~repro.serve.scheduler.AdaptiveBatchController` — an adaptive
+window sized from the controller's arrival-rate EWMA and the
+instantaneous queue depth (see the controller's docstring for the
+policy). Either way every wait is a condition-variable wait: a
+non-positive ``wait_timeout`` is clamped to a small floor instead of
+degenerating into a hot poll of the scheduler loop.
 """
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from collections import OrderedDict, deque
@@ -51,14 +66,29 @@ CLOSED = "closed"
 
 _POLICIES = ("reject", "block")
 
+#: Floor of the empty-queue condition-variable wait. A ``wait_timeout``
+#: (or scheduler ``idle_wait_s``) of zero used to make :meth:`take`
+#: return immediately on an empty queue, turning the scheduler loop
+#: into a 100%-CPU poll; clamping to this floor keeps the wait a real
+#: cv sleep while staying far below any reply-latency budget.
+MIN_IDLE_WAIT_S = 0.001
 
-@dataclass
+#: ``dataclass(slots=True)`` needs Python 3.10; on 3.9 the envelope
+#: keeps a ``__dict__`` — identical semantics, only the memory win of
+#: slotting is lost.
+_DC_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
+
+
+@dataclass(**_DC_SLOTS)
 class PendingRequest:
     """Queue envelope: one request awaiting its reply.
 
     ``expires_at`` is an absolute ``time.monotonic()`` instant derived
     from the request's relative ``deadline_s`` at submission (``None``
-    = no deadline).
+    = no deadline). Slotted (no per-instance ``__dict__``) and
+    recyclable through :class:`EnvelopePool` — envelopes are pure
+    scheduler-internal plumbing, so the allocation churn of one object
+    per request is a fixed cost worth pooling on the hot path.
     """
 
     request: object
@@ -77,6 +107,19 @@ class PendingRequest:
             expires_at=expires_at,
         )
 
+    def rewrap(self, request, now: Optional[float] = None) -> "PendingRequest":
+        """Reset this envelope in place for a new request (pool reuse)."""
+        now = _clock.monotonic() if now is None else now
+        deadline_s = getattr(request, "deadline_s", None)
+        self.request = request
+        self.future = Future()  # futures escape to callers; never reused
+        self.submitted_at = now
+        self.expires_at = (
+            None if deadline_s is None else now + float(deadline_s)
+        )
+        self.batch_size = 0
+        return self
+
     def expired(self, now: Optional[float] = None) -> bool:
         if self.expires_at is None:
             return False
@@ -84,6 +127,52 @@ class PendingRequest:
 
     def latency(self, now: Optional[float] = None) -> float:
         return (_clock.monotonic() if now is None else now) - self.submitted_at
+
+
+class EnvelopePool:
+    """Freelist of :class:`PendingRequest` envelopes.
+
+    ``acquire`` is called from many client threads, ``release`` from
+    the scheduler thread once the envelope's future has resolved; the
+    underlying :class:`collections.deque` makes both lock-free. The
+    reply :class:`~concurrent.futures.Future` is *never* reused — it
+    escapes to the submitting client — only the envelope shell is.
+    Release is owned by whoever drained the envelope from the queue
+    (or refused it admission); an envelope must not be touched after
+    it is released.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._free: Deque[PendingRequest] = deque()
+        self.reuses = 0
+        self.allocations = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(self, request) -> PendingRequest:
+        try:
+            item = self._free.pop()
+        except IndexError:
+            self.allocations += 1
+            return PendingRequest.wrap(request)
+        self.reuses += 1
+        return item.rewrap(request)
+
+    def release(self, item: PendingRequest) -> None:
+        """Return a completed envelope to the freelist.
+
+        The request/future references are dropped so a pooled shell
+        never pins a reply (or its numpy payload) alive.
+        """
+        item.request = None
+        item.future = None
+        item.expires_at = None
+        if len(self._free) < self.capacity:
+            self._free.append(item)
 
 
 class AdmissionQueue:
@@ -109,7 +198,13 @@ class AdmissionQueue:
         fills (the 1-client serving regression); with several requests
         already queued the linger still runs, so fusion under load is
         unaffected. Off by default — opt-in latency policy, not queue
-        semantics.
+        semantics. Superseded by the adaptive controller's depth-k
+        bypass when one is passed to :meth:`take`.
+    urgent_slack_s:
+        Deadline slack below which a queued request is *urgent*: the
+        drain pulls urgent lane heads earliest-deadline-first before
+        the fair rotation runs (SLO-aware ordering). Only consulted
+        while deadline-carrying requests are queued.
     """
 
     def __init__(
@@ -119,6 +214,7 @@ class AdmissionQueue:
         block_timeout_s: Optional[float] = 5.0,
         per_client_limit: Optional[int] = None,
         eager_single: bool = False,
+        urgent_slack_s: float = 0.01,
     ):
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
@@ -134,14 +230,24 @@ class AdmissionQueue:
             raise ConfigurationError(
                 f"per_client_limit must be >= 1, got {per_client_limit}"
             )
+        if urgent_slack_s < 0:
+            raise ConfigurationError(
+                f"urgent_slack_s must be >= 0, got {urgent_slack_s}"
+            )
         self.capacity = int(capacity)
         self.policy = policy
         self.block_timeout_s = block_timeout_s
         self.per_client_limit = per_client_limit
         self.eager_single = bool(eager_single)
+        self.urgent_slack_s = float(urgent_slack_s)
+        #: Optional AdaptiveBatchController observing arrivals; set by
+        #: the scheduler that owns this queue (duck-typed, no import).
+        self.controller = None
         self._lanes: "OrderedDict[str, Deque[PendingRequest]]" = OrderedDict()
         self._turns: Deque[str] = deque()  # round-robin client order
         self._depth = 0
+        self._deadline_count = 0  # queued items carrying a deadline
+        self._last_arrival = 0.0  # time.monotonic() of the newest offer
         self._closed = False
         self._cond = threading.Condition()
 
@@ -149,6 +255,15 @@ class AdmissionQueue:
     def depth(self) -> int:
         with self._cond:
             return self._depth
+
+    def depth_hint(self) -> int:
+        """Lock-free read of the depth gauge.
+
+        One int read under the GIL — the scheduler samples this for
+        metrics after a drain instead of paying another lock hop; it
+        may be momentarily stale, which is fine for a gauge.
+        """
+        return self._depth
 
     def client_depth(self, client_id: str) -> int:
         with self._cond:
@@ -166,7 +281,7 @@ class AdmissionQueue:
 
         ``REJECTED``/``TIMED_OUT``/``CLOSED`` mean the item was *not*
         enqueued; the caller owns completing its future with the
-        matching typed error reply.
+        matching typed error reply (and releasing the envelope).
         """
         client_id = item.request.client_id
         with self._cond:
@@ -207,6 +322,13 @@ class AdmissionQueue:
                 self._turns.append(client_id)
             lane.append(item)
             self._depth += 1
+            if item.expires_at is not None:
+                self._deadline_count += 1
+            now = time.monotonic()
+            self._last_arrival = now
+            controller = self.controller
+            if controller is not None:
+                controller.observe_arrival(now)
             self._cond.notify_all()
             return ADMITTED
 
@@ -216,37 +338,82 @@ class AdmissionQueue:
         max_items: int,
         wait_timeout: Optional[float] = 0.05,
         batch_wait: float = 0.0,
+        controller=None,
     ) -> Tuple[List[PendingRequest], List[PendingRequest]]:
         """Drain up to ``max_items`` in fair order; purge expired work.
 
         Micro-batching trigger: block until the queue is non-empty (at
-        most ``wait_timeout`` seconds — ``None`` waits indefinitely),
-        then linger up to ``batch_wait`` seconds for the batch to fill
-        to ``max_items`` before draining. Returns ``(batch, expired)``;
-        expired envelopes (deadline lapsed while queued) are removed
-        from the queue but *not* part of the batch.
+        most ``wait_timeout`` seconds — ``None`` waits indefinitely,
+        non-positive values clamp to :data:`MIN_IDLE_WAIT_S` so the
+        caller's loop can never hot-poll), then linger for the batch to
+        fill to ``max_items`` before draining. The linger window is
+        ``batch_wait`` seconds, or — when an adaptive ``controller`` is
+        passed — whatever the controller sizes from its arrival-rate
+        EWMA and the current depth (including a zero window: the
+        depth-k fusion bypass). Returns ``(batch, expired)``; expired
+        envelopes (deadline lapsed while queued) are removed from the
+        queue but *not* part of the batch.
 
         Fairness: one item per client per turn, clients visited
         round-robin, a client's lane staying FIFO. A drained-empty lane
-        leaves the rotation until that client submits again.
+        leaves the rotation until that client submits again. Urgent
+        deadlines pre-empt the rotation (see ``urgent_slack_s``).
         """
         if max_items < 1:
             raise ConfigurationError(
                 f"max_items must be >= 1, got {max_items}"
             )
+        if wait_timeout is not None and wait_timeout <= 0:
+            wait_timeout = MIN_IDLE_WAIT_S
         with self._cond:
             if not self._wait_nonempty(wait_timeout):
                 return [], []
-            if self.eager_single and self._depth == 1:
-                return self._drain_locked(max_items)
-            if batch_wait > 0 and self._depth < max_items:
-                deadline = time.monotonic() + batch_wait
-                while self._depth < max_items and not self._closed:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        break
-                    self._cond.wait(remaining)
-            return self._drain_locked(max_items)
+            if controller is not None and controller.adaptive:
+                self._linger_adaptive(max_items, controller)
+            elif batch_wait > 0 and self._depth < max_items:
+                if not (self.eager_single and self._depth == 1):
+                    deadline = time.monotonic() + batch_wait
+                    while self._depth < max_items and not self._closed:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(remaining)
+            batch, expired = self._drain_locked(max_items)
+            if controller is not None:
+                controller.observe_drain(len(batch) + len(expired))
+            return batch, expired
+
+    def _linger_adaptive(self, max_items: int, controller) -> None:
+        """Adaptive batch-fill linger (lock held).
+
+        The controller picks a hard window from depth/EWMA/SLO slack;
+        inside it we drain early as soon as the arrival flow *pauses*
+        for a settle gap — so a burst is collected whole without ever
+        paying dead linger time after it ends.
+        """
+        if self._depth >= max_items or controller.should_bypass(self._depth):
+            return
+        now = time.monotonic()
+        oldest_age = now - self._oldest_submitted_locked(now)
+        window = controller.linger_window_s(self._depth, oldest_age, max_items)
+        if window <= 0:
+            return
+        deadline = now + window
+        while self._depth < max_items and not self._closed:
+            now = time.monotonic()
+            settle_at = self._last_arrival + controller.settle_s()
+            remaining = min(deadline, settle_at) - now
+            if remaining <= 0:
+                break
+            self._cond.wait(remaining)
+
+    def _oldest_submitted_locked(self, now: float) -> float:
+        """Earliest ``submitted_at`` among lane heads (lanes are FIFO)."""
+        oldest = now
+        for lane in self._lanes.values():
+            if lane and lane[0].submitted_at < oldest:
+                oldest = lane[0].submitted_at
+        return oldest
 
     def _wait_nonempty(self, timeout: Optional[float]) -> bool:
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -261,12 +428,59 @@ class AdmissionQueue:
             self._cond.wait(remaining)
         return True
 
+    def _pop_from_lane(self, client_id: str, lane) -> PendingRequest:
+        """Pop a lane head, keeping depth/deadline/rotation bookkeeping."""
+        item = lane.popleft()
+        self._depth -= 1
+        if item.expires_at is not None:
+            self._deadline_count -= 1
+        if not lane:
+            self._lanes.pop(client_id, None)
+            try:
+                self._turns.remove(client_id)
+            except ValueError:
+                pass
+        return item
+
+    def _drain_urgent(
+        self,
+        now: float,
+        max_items: int,
+        batch: List[PendingRequest],
+        expired: List[PendingRequest],
+    ) -> None:
+        """Pull urgent lane heads earliest-deadline-first (lock held).
+
+        Only lane *heads* are eligible, so per-client (and per-session)
+        FIFO order is preserved; an urgent item buried behind its own
+        lane mates waits its turn like everyone else.
+        """
+        horizon = now + self.urgent_slack_s
+        while self._deadline_count > 0 and len(batch) < max_items:
+            best_client = None
+            best_lane = None
+            best_expiry = horizon
+            for client_id, lane in self._lanes.items():
+                head = lane[0]
+                if head.expires_at is not None and head.expires_at <= best_expiry:
+                    best_client, best_lane = client_id, lane
+                    best_expiry = head.expires_at
+            if best_lane is None:
+                return
+            item = self._pop_from_lane(best_client, best_lane)
+            if item.expired(now):
+                expired.append(item)
+            else:
+                batch.append(item)
+
     def _drain_locked(
         self, max_items: int
     ) -> Tuple[List[PendingRequest], List[PendingRequest]]:
         now = _clock.monotonic()
         batch: List[PendingRequest] = []
         expired: List[PendingRequest] = []
+        if self._deadline_count > 0:
+            self._drain_urgent(now, max_items, batch, expired)
         idle_turns = 0
         while self._depth > 0 and len(batch) < max_items:
             if not self._turns or idle_turns >= len(self._turns):
@@ -280,6 +494,8 @@ class AdmissionQueue:
             idle_turns = 0
             item = lane.popleft()
             self._depth -= 1
+            if item.expires_at is not None:
+                self._deadline_count -= 1
             if item.expired(now):
                 expired.append(item)
             else:

@@ -59,6 +59,33 @@ class ServerMetrics:
         self.backend_fallbacks = 0  # parallel backend leased out (serial mode)
         self.backend_reescalations = 0  # parallel backend restored
         self.internal_faults: Counter = Counter()  # by origin site
+        self._probes: Dict[str, object] = {}  # live objects we snapshot
+
+    def attach_probes(
+        self,
+        kernel_cache=None,
+        controller=None,
+        arena=None,
+        envelope_pool=None,
+    ) -> None:
+        """Register live scheduler internals for snapshot reporting.
+
+        Probes are read (plain counter attributes, no locks) at
+        :meth:`snapshot` time, which is what makes the kernel LRU
+        cache, the adaptive batch controller, the batch arena, and the
+        envelope pool visible through ``/metrics`` without threading
+        every counter bump through this object's lock. ``None`` values
+        are skipped, so services attach only what they have.
+        """
+        with self._lock:
+            for name, probe in (
+                ("kernel_cache", kernel_cache),
+                ("controller", controller),
+                ("arena", arena),
+                ("envelope_pool", envelope_pool),
+            ):
+                if probe is not None:
+                    self._probes[name] = probe
 
     # ------------------------------------------------------------------
     def record_submit(self) -> None:
@@ -149,7 +176,7 @@ class ServerMetrics:
                 if total
                 else float("nan")
             )
-            return {
+            snap = {
                 "requests_submitted": self.requests_submitted,
                 "replies_ok": self.replies_ok,
                 "replies_error": dict(self.replies_error),
@@ -176,6 +203,29 @@ class ServerMetrics:
                 "queue_wait_p50_s": waits["p50"],
                 "queue_wait_p95_s": waits["p95"],
             }
+            cache = self._probes.get("kernel_cache")
+            if cache is not None:
+                snap["kernel_cache"] = {
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "hit_rate": cache.hit_rate,
+                    "size": len(cache),
+                    "capacity": cache.capacity,
+                }
+            controller = self._probes.get("controller")
+            if controller is not None:
+                snap["batch_controller"] = controller.snapshot()
+            arena = self._probes.get("arena")
+            if arena is not None:
+                snap["batch_arena"] = arena.snapshot()
+            pool = self._probes.get("envelope_pool")
+            if pool is not None:
+                snap["envelope_pool"] = {
+                    "reuses": pool.reuses,
+                    "allocations": pool.allocations,
+                    "free": len(pool),
+                }
+            return snap
 
     def to_json(self, indent: int = 2) -> str:
         def _nan_safe(value):

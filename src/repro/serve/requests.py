@@ -1,6 +1,6 @@
 """Request and reply types of the batched localization service.
 
-Requests are immutable value objects: a logical client names itself
+Requests are immutable, slotted value objects: a logical client names itself
 (``client_id`` — the admission layer's fairness unit), tags the request
 (``request_id`` — the reply correlation key), and optionally attaches a
 relative deadline. Replies are equally plain: one success type per
@@ -11,6 +11,7 @@ answered, never silently dropped.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Optional, Type
 
@@ -36,6 +37,11 @@ ERROR_SHUTDOWN = "shutdown"
 ERROR_UNKNOWN_SESSION = "unknown_session"
 ERROR_INTERNAL = "internal"
 ERROR_WORKER_CRASHED = "worker_crashed"
+
+#: ``dataclass(slots=True)`` needs Python 3.10; on 3.9 the classes
+#: simply keep a ``__dict__`` — identical semantics, only the
+#: per-instance memory/attribute-lookup win is lost.
+_DC_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 _ERROR_TYPES = {
     ERROR_REJECTED: AdmissionError,
@@ -64,7 +70,7 @@ def _require_deadline(deadline_s: Optional[float]) -> None:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_DC_SLOTS)
 class LocalizeRequest:
     """One instant-localization job: K user positions from one window.
 
@@ -120,7 +126,7 @@ class LocalizeRequest:
             )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_DC_SLOTS)
 class TrackStepRequest:
     """One tracking-session step: feed a window to a service session.
 
@@ -143,7 +149,7 @@ class TrackStepRequest:
             raise ConfigurationError("session_id must be non-empty")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_DC_SLOTS)
 class LocalizeReply:
     """Successful localization: the top-``top_m`` fitted compositions."""
 
@@ -162,7 +168,7 @@ class LocalizeReply:
         return self.result.position_estimates()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_DC_SLOTS)
 class TrackStepReply:
     """Tracking-step outcome: the step, or the session's skip reason.
 
@@ -186,7 +192,7 @@ class TrackStepReply:
         return True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_DC_SLOTS)
 class ErrorReply:
     """Typed error reply: every failed request gets exactly one.
 

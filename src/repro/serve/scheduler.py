@@ -12,6 +12,24 @@ setup that a request paid on its own. Single-user solves fuse the same
 way: the per-candidate theta/objective math is one einsum row reduction,
 so a batch of K=1 requests becomes one stacked row sweep.
 
+Two mechanisms keep batching from ever costing latency:
+
+* :class:`AdaptiveBatchController` sizes the linger window from an
+  EWMA of the inter-arrival gap and the instantaneous queue depth
+  instead of a fixed ``max_wait_s``: light traffic bypasses the linger
+  entirely (the depth-k generalization of the old ``eager_single``
+  flag), a burst is collected until arrivals *settle* rather than for
+  a fixed window, and an optional ``target_p95_s`` SLO caps how long
+  the oldest queued request may age before dispatch. The controller
+  only decides *when* to drain — batch composition never changes what
+  a reply contains (see the determinism contract below), so the
+  heuristic is free to be wrong without ever being incorrect.
+* :class:`BatchArena` owns the per-batch staging storage — fused
+  kernel rows, stitched seed blocks, the K=1 solve's kernel/target/
+  residual buffers — as named flat buffers grown geometrically and
+  reused across batches, replacing the per-batch ``np.concatenate``
+  chains that used to allocate on the hot path.
+
 Determinism contract (the acceptance bar of this layer): a request's
 reply is bitwise-identical (float64) whether it was solved alone or
 inside any micro-batch, because
@@ -27,7 +45,11 @@ inside any micro-batch, because
 * sniffer dropout (NaN readings) restricts a request to a column
   subset, and the geometry kernel of a (sink, sniffer) pair does not
   depend on the other sniffers, so slicing the full-set kernels equals
-  computing on the restricted model.
+  computing on the restricted model;
+* arena staging only changes *where* rows live, never their values:
+  every replaced ``np.concatenate`` becomes slice assignments into a
+  preallocated buffer, and every replaced expression becomes the same
+  ufunc sequence with ``out=`` — identical float64 bits either way.
 
 Per-request dispatch is literally this same scheduler with
 ``max_batch=1`` — one code path, two batch sizes — which is what makes
@@ -56,7 +78,7 @@ from repro.fingerprint.nls import (
 )
 from repro.fingerprint.objective import _RIDGE
 from repro.fingerprint.results import CompositionFit, LocalizationResult
-from repro.serve.admission import AdmissionQueue, PendingRequest
+from repro.serve.admission import AdmissionQueue, EnvelopePool, PendingRequest
 from repro.serve.metrics import ServerMetrics
 from repro.serve.resilience import BackendGovernor
 from repro.serve.requests import (
@@ -79,6 +101,222 @@ _LOG = logging.getLogger(__name__)
 #: Failures of the fused evaluation worth a retry / serial fallback
 #: (transient set plus an exhausted bounded retry of that set).
 _BACKEND_FAULTS = TRANSIENT_ERRORS + (RetriesExhausted,)
+
+#: Inter-arrival gaps above this are idle time, not traffic, and are
+#: excluded from the controller's rate EWMA (a client coming back from
+#: a coffee break should not convince the controller traffic is slow
+#: forever — the EWMA resumes from live gaps).
+_GAP_CLAMP_S = 1.0
+
+
+class AdaptiveBatchController:
+    """Sizes the micro-batch linger window from observed traffic.
+
+    State (all updated under the admission queue's lock):
+
+    ``gap_ewma_s``
+        EWMA of the inter-arrival gap, fed by :meth:`observe_arrival`
+        from the queue's ``offer`` path. Gaps above ``1s`` are treated
+        as idle time and skipped. Seeded with ``max_wait_s`` — the
+        fixed window is the prior, live traffic replaces it within a
+        few arrivals.
+    ``batch_ewma``
+        EWMA of the drained batch size, fed by :meth:`observe_drain`.
+        This is what generalizes ``eager_single`` to depth-k without a
+        closed-loop trap: a lone client's service-time gap can look
+        "fast enough to linger for", but its drains keep coming back
+        size 1, so the batch EWMA keeps the bypass engaged; under real
+        concurrency the drains grow and the bypass releases itself.
+
+    Decision (:meth:`linger_window_s`): if both the current depth and
+    the batch EWMA sit below ``fusion_min_depth``, bypass the linger
+    entirely (window 0 — dispatch now). Otherwise the hard window is
+    the smallest of ``max_wait_s``, the EWMA-predicted time for the
+    batch to fill to ``max_items``, and — when ``target_p95_s`` is set
+    — the oldest queued request's remaining SLO budget (half the
+    target, so queueing never eats the whole latency budget). Inside
+    that window the queue drains early once arrivals pause for
+    :meth:`settle_s` (a small multiple of the gap EWMA), so a burst is
+    collected whole without paying dead linger time after it ends.
+
+    The controller picks *when* to drain, never *what* a reply
+    contains; every choice preserves the bitwise-identical-replies
+    guarantee by construction.
+    """
+
+    __slots__ = (
+        "adaptive", "max_wait_s", "fusion_min_depth", "target_p95_s",
+        "ewma_alpha", "settle_mult", "settle_floor_s", "gap_ewma_s",
+        "batch_ewma", "_last_arrival_s", "bypasses", "windows",
+        "window_sum_s", "last_window_s",
+    )
+
+    def __init__(
+        self,
+        max_wait_s: float,
+        fusion_min_depth: int = 2,
+        target_p95_s: Optional[float] = None,
+        ewma_alpha: float = 0.25,
+        settle_mult: float = 4.0,
+        settle_floor_s: float = 1e-4,
+        adaptive: bool = True,
+    ):
+        if max_wait_s < 0:
+            raise ConfigurationError(
+                f"max_wait_s must be >= 0, got {max_wait_s}"
+            )
+        if fusion_min_depth < 1:
+            raise ConfigurationError(
+                f"fusion_min_depth must be >= 1, got {fusion_min_depth}"
+            )
+        if target_p95_s is not None and target_p95_s <= 0:
+            raise ConfigurationError(
+                f"target_p95_s must be positive, got {target_p95_s}"
+            )
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ConfigurationError(
+                f"ewma_alpha must be in (0, 1], got {ewma_alpha}"
+            )
+        self.adaptive = bool(adaptive)
+        self.max_wait_s = float(max_wait_s)
+        self.fusion_min_depth = int(fusion_min_depth)
+        self.target_p95_s = (
+            None if target_p95_s is None else float(target_p95_s)
+        )
+        self.ewma_alpha = float(ewma_alpha)
+        self.settle_mult = float(settle_mult)
+        self.settle_floor_s = float(settle_floor_s)
+        self.gap_ewma_s = self.max_wait_s
+        self.batch_ewma = 1.0
+        self._last_arrival_s = 0.0
+        self.bypasses = 0
+        self.windows = 0
+        self.window_sum_s = 0.0
+        self.last_window_s = 0.0
+
+    # -- observations (called under the queue lock) --------------------
+    def observe_arrival(self, now: float) -> None:
+        last = self._last_arrival_s
+        self._last_arrival_s = now
+        if last > 0.0:
+            gap = now - last
+            if 0.0 <= gap <= _GAP_CLAMP_S:
+                self.gap_ewma_s += self.ewma_alpha * (gap - self.gap_ewma_s)
+
+    def observe_drain(self, drained: int) -> None:
+        if drained > 0:
+            self.batch_ewma += self.ewma_alpha * (drained - self.batch_ewma)
+
+    # -- decisions ------------------------------------------------------
+    def should_bypass(self, depth: int) -> bool:
+        """Cheap depth-k bypass check, callable before any linger setup.
+
+        The queue asks this first so the bypass path — the common case
+        under light traffic — skips the lane scan and clock read that
+        sizing a window needs; it is the same condition
+        :meth:`linger_window_s` applies.
+        """
+        if depth < self.fusion_min_depth and self.batch_ewma < self.fusion_min_depth:
+            self.bypasses += 1
+            self.last_window_s = 0.0
+            return True
+        return False
+
+    def settle_s(self) -> float:
+        """Arrival pause that ends the linger early (the burst is over)."""
+        settle = max(self.settle_mult * self.gap_ewma_s, self.settle_floor_s)
+        return min(self.max_wait_s, settle) if self.max_wait_s > 0 else settle
+
+    def linger_window_s(
+        self, depth: int, oldest_age_s: float, max_items: int
+    ) -> float:
+        """Hard linger bound for the current drain (0 = dispatch now)."""
+        if depth >= max_items:
+            return 0.0
+        if (
+            depth < self.fusion_min_depth
+            and self.batch_ewma < self.fusion_min_depth
+        ):
+            self.bypasses += 1
+            self.last_window_s = 0.0
+            return 0.0
+        window = min(
+            self.max_wait_s, (max_items - depth) * self.gap_ewma_s
+        )
+        if self.target_p95_s is not None:
+            window = min(
+                window, max(0.0, 0.5 * self.target_p95_s - oldest_age_s)
+            )
+        window = max(0.0, window)
+        self.windows += 1
+        self.window_sum_s += window
+        self.last_window_s = window
+        return window
+
+    def snapshot(self) -> Dict[str, object]:
+        windows = self.windows
+        return {
+            "adaptive": self.adaptive,
+            "fusion_min_depth": self.fusion_min_depth,
+            "target_p95_s": self.target_p95_s,
+            "gap_ewma_s": self.gap_ewma_s,
+            "batch_ewma": self.batch_ewma,
+            "bypasses": self.bypasses,
+            "windows": windows,
+            "last_window_s": self.last_window_s,
+            "window_mean_s": (
+                self.window_sum_s / windows if windows else 0.0
+            ),
+        }
+
+
+class BatchArena:
+    """Named, reusable staging buffers for one scheduler's batches.
+
+    ``take(name, shape)`` returns a ``shape``-shaped view into a flat
+    buffer kept per name, grown geometrically (power-of-two sizing) so
+    steady-state batches hit preallocated storage instead of the
+    allocator. Views are valid until the *next* ``take`` of the same
+    name — i.e. for exactly one batch cycle — which is safe here
+    because the scheduler is single-threaded and nothing derived from
+    arena storage escapes into a reply (fits copy their rows out).
+
+    ``hits``/``grows`` count reuse vs (re)allocation and surface in
+    the metrics snapshot: a steady ``hits`` climb with flat ``grows``
+    is the arena doing its job.
+    """
+
+    __slots__ = ("_buffers", "hits", "grows")
+
+    def __init__(self):
+        self._buffers: Dict[str, np.ndarray] = {}
+        self.hits = 0
+        self.grows = 0
+
+    def take(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        if isinstance(shape, int):
+            shape = (shape,)
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        dtype = np.dtype(dtype)
+        buf = self._buffers.get(name)
+        if buf is None or buf.size < size or buf.dtype != dtype:
+            capacity = 1 << max(6, (size - 1).bit_length())
+            buf = np.empty(capacity, dtype=dtype)
+            self._buffers[name] = buf
+            self.grows += 1
+        else:
+            self.hits += 1
+        return buf[:size].reshape(shape)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "grows": self.grows,
+            "buffers": len(self._buffers),
+            "bytes": int(sum(b.nbytes for b in self._buffers.values())),
+        }
 
 
 class _LocalizePlan:
@@ -127,7 +365,7 @@ def _fused_match_eligible(fingerprint_map, request) -> bool:
 
 
 def fuse_map_matches(
-    fingerprint_map, items: Sequence[PendingRequest]
+    fingerprint_map, items: Sequence[PendingRequest], workspace=None
 ) -> Dict[int, object]:
     """Pre-match eligible requests' observations in one fused call.
 
@@ -135,7 +373,8 @@ def fuse_map_matches(
     phase consumes these instead of per-request ``peel_matches``. Both
     dispatch modes route through :meth:`FingerprintMap.match_many`
     (batch size 1 in per-request mode), so the fusion never changes a
-    reply.
+    reply. ``workspace`` is the caller-owned staging dict forwarded to
+    the signature-index batch match (scratch reuse across batches).
     """
     eligible = [
         item for item in items
@@ -149,7 +388,7 @@ def fuse_map_matches(
     )
     ks = [min(i.request.seed_top_k, i.request.candidate_count)
           for i in eligible]
-    matches = fingerprint_map.match_many(values, ks)
+    matches = fingerprint_map.match_many(values, ks, workspace=workspace)
     return {id(item): match for item, match in zip(eligible, matches)}
 
 
@@ -218,46 +457,105 @@ def plan_localize(
     )
 
 
-def fuse_pool_kernels(model, plans: Sequence[_LocalizePlan], engine=None) -> int:
+def fuse_pool_kernels(
+    model, plans: Sequence[_LocalizePlan], engine=None,
+    arena: Optional[BatchArena] = None,
+) -> int:
     """Evaluate every plan's non-seed candidate rows in one kernels call.
 
-    Concatenates the unseeded rows of all pools across all plans,
-    evaluates geometry kernels over the **full** sniffer set once, then
-    slices each plan's column subset (dropout) and stitches map-seed
-    kernels back in front. Row-locality of the kernel makes the split
-    irrelevant to the values; returns the fused row count (a metrics
-    signal of how much work one engine call amortized).
+    Stages the unseeded rows of all pools across all plans into one
+    contiguous block, evaluates geometry kernels over the **full**
+    sniffer set once, then slices each plan's column subset (dropout)
+    and stitches map-seed kernels back in front. Row-locality of the
+    kernel makes the split irrelevant to the values; returns the fused
+    row count (a metrics signal of how much work one engine call
+    amortized).
+
+    With an ``arena``, the stacked sink rows, the fused kernel output
+    (written in place via ``geometry_kernels(..., out=)``), and the
+    stitched per-plan blocks all live in reused arena storage — the
+    same values the old per-batch ``np.concatenate`` chain produced,
+    without its allocations. Plans with no seed prefix and no dropout
+    keep a zero-copy view into the fused block either way.
     """
-    segments: List[Tuple[_LocalizePlan, int, int, int]] = []
-    rows: List[np.ndarray] = []
+    segments: List[Tuple[_LocalizePlan, int, int, int, int]] = []
+    total = 0
     for plan in plans:
         for r, row_pools in enumerate(plan.pools):
             for u, pool in enumerate(row_pools):
                 seed = plan.seed_kernels[r][u]
                 k = 0 if seed is None else seed.shape[0]
-                if pool.shape[0] > k:
-                    rows.append(pool[k:])
-                    segments.append((plan, r, u, pool.shape[0] - k))
+                count = pool.shape[0] - k
+                if count > 0:
+                    segments.append((plan, r, u, k, count))
+                    total += count
     fused = None
-    total = 0
-    if rows:
-        stacked = np.concatenate(rows, axis=0)
-        total = stacked.shape[0]
+    if total:
         if should_fire("serve.batch.fuse") is not None:
             raise FaultInjected(
                 f"serve.batch.fuse: fused kernel pass over {total} rows failed"
             )
-        fused = model.geometry_kernels(stacked, engine=engine)
+        out = None
+        if arena is None:
+            stacked = np.concatenate(
+                [plan.pools[r][u][k:] for plan, r, u, k, _ in segments],
+                axis=0,
+            )
+        else:
+            stacked = arena.take("fuse_sinks", (total, 2))
+            offset = 0
+            for plan, r, u, k, count in segments:
+                stacked[offset:offset + count] = plan.pools[r][u][k:]
+                offset += count
+            out = arena.take("fuse_kernels", (total, model.node_count))
+        fused = model.geometry_kernels(stacked, engine=engine, out=out)
+
+    # Plans with a seed prefix or a dropout column subset need their own
+    # (k + count, ncols) block; pack them side by side in one arena
+    # buffer (a cursor walk) so their views coexist for the whole batch.
+    stitch = None
+    if arena is not None:
+        stitch_elems = 0
+        for plan, _, _, k, count in segments:
+            if k > 0 or plan.columns is not None:
+                ncols = (
+                    model.node_count if plan.columns is None
+                    else plan.columns.shape[0]
+                )
+                stitch_elems += (k + count) * ncols
+        stitch = arena.take("stitch_kernels", (stitch_elems,))
+    cursor = 0
     offset = 0
-    for plan, r, u, count in segments:
+    for plan, r, u, k, count in segments:
         block = fused[offset:offset + count]
         offset += count
-        if plan.columns is not None:
-            block = block[:, plan.columns]
         seed = plan.seed_kernels[r][u]
-        plan.pool_kernels[r][u] = (
-            block if seed is None else np.concatenate([seed, block], axis=0)
+        if k == 0 and plan.columns is None:
+            plan.pool_kernels[r][u] = block  # zero-copy view
+            continue
+        if stitch is None:
+            if plan.columns is not None:
+                block = block[:, plan.columns]
+            plan.pool_kernels[r][u] = (
+                block if seed is None
+                else np.concatenate([seed, block], axis=0)
+            )
+            continue
+        ncols = (
+            block.shape[1] if plan.columns is None
+            else plan.columns.shape[0]
         )
+        dest = stitch[cursor:cursor + (k + count) * ncols].reshape(
+            k + count, ncols
+        )
+        cursor += (k + count) * ncols
+        if k:
+            dest[:k] = seed
+        if plan.columns is None:
+            dest[k:] = block
+        else:
+            np.take(block, plan.columns, axis=1, out=dest[k:])
+        plan.pool_kernels[r][u] = dest
     for plan in plans:  # pure-seed pools (candidate_count <= seeds)
         for r, row in enumerate(plan.pool_kernels):
             for u, kern in enumerate(row):
@@ -266,7 +564,9 @@ def fuse_pool_kernels(model, plans: Sequence[_LocalizePlan], engine=None) -> int
     return total
 
 
-def solve_single_user_fused(plans: Sequence[_LocalizePlan]) -> List[LocalizationResult]:
+def solve_single_user_fused(
+    plans: Sequence[_LocalizePlan], arena: Optional[BatchArena] = None
+) -> List[LocalizationResult]:
     """Solve a group of K=1 plans (equal sniffer arity) in one row sweep.
 
     The single-user candidate solve is the scalar normal equation
@@ -279,37 +579,70 @@ def solve_single_user_fused(plans: Sequence[_LocalizePlan]) -> List[Localization
     restarts equals the localize harvest for K=1 (the heap keeps the
     incumbent plus each restart's next-best alternatives, which for one
     user is exactly the candidate ranking).
-    """
-    counts: List[int] = []
-    blocks: List[np.ndarray] = []
-    targets = []
-    for plan in plans:
-        kern = np.concatenate(
-            [plan.objective._weight_kernels(plan.pool_kernels[r][0])
-             for r in range(len(plan.pools))],
-            axis=0,
-        )
-        blocks.append(kern)
-        counts.append(kern.shape[0])
-        targets.append(plan.objective._weighted_target)
-    kernels = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
-    target_rows = np.stack(targets)  # (P, n) — equal arity by grouping
-    row_plan = np.repeat(np.arange(len(plans)), counts)
 
-    total = kernels.shape[0]
-    thetas = np.empty(total)
-    objectives = np.empty(total)
+    Every staging array comes from the ``arena`` when one is passed
+    (fresh ``np.empty`` otherwise); the arithmetic is the same ufunc
+    sequence either way, applied with ``out=`` into reused storage —
+    bitwise-identical float64 results, no per-batch allocation.
+    """
+
+    def _take(name, shape, dtype=np.float64):
+        if arena is None:
+            return np.empty(shape, dtype=dtype)
+        return arena.take(name, shape, dtype)
+
+    counts: List[int] = []
+    total = 0
+    for plan in plans:
+        c = sum(
+            plan.pool_kernels[r][0].shape[0] for r in range(len(plan.pools))
+        )
+        counts.append(c)
+        total += c
+    n = plans[0].objective._weighted_target.shape[0]
+
+    kernels = _take("solve_kernels", (total, n))
+    target_rows = _take("solve_targets", (len(plans), n))
+    row_plan = _take("solve_row_plan", (total,), dtype=np.int64)
+    thetas = _take("solve_thetas", (total,))
+    objectives = _take("solve_objectives", (total,))
+
+    offset = 0
+    for p, plan in enumerate(plans):
+        target_rows[p] = plan.objective._weighted_target
+        weights = plan.objective.weights
+        for r in range(len(plan.pools)):
+            kern = plan.pool_kernels[r][0]
+            dest = kernels[offset:offset + kern.shape[0]]
+            if weights is None:
+                dest[:] = kern
+            else:
+                np.multiply(kern, weights, out=dest)
+            row_plan[offset:offset + kern.shape[0]] = p
+            offset += kern.shape[0]
+
+    block = min(_SOLVE_BLOCK_ROWS, total)
+    t_blk_buf = _take("solve_t_blk", (block, n))
+    resid_buf = _take("solve_resid", (block, n))
+    num_buf = _take("solve_num", (block,))
+    den_buf = _take("solve_den", (block,))
     for start in range(0, total, _SOLVE_BLOCK_ROWS):
         stop = min(start + _SOLVE_BLOCK_ROWS, total)
+        rows = stop - start
         k_blk = kernels[start:stop]
-        t_blk = target_rows[row_plan[start:stop]]
-        num = np.einsum("ij,ij->i", k_blk, t_blk)
-        den = np.einsum("ij,ij->i", k_blk, k_blk) + _RIDGE
-        th = num / den
+        t_blk = t_blk_buf[:rows]
+        np.take(target_rows, row_plan[start:stop], axis=0, out=t_blk)
+        num = num_buf[:rows]
+        den = den_buf[:rows]
+        np.einsum("ij,ij->i", k_blk, t_blk, out=num)
+        np.einsum("ij,ij->i", k_blk, k_blk, out=den)
+        den += _RIDGE
+        th = thetas[start:stop]
+        np.divide(num, den, out=th)
         th[th < 0.0] = 0.0  # exact K=1 NNLS: infeasible => empty support
-        resid = k_blk * th[:, None]
+        resid = resid_buf[:rows]
+        np.multiply(k_blk, th[:, None], out=resid)
         resid -= t_blk
-        thetas[start:stop] = th
         objectives[start:stop] = np.linalg.norm(resid, axis=1)
 
     results: List[LocalizationResult] = []
@@ -317,9 +650,12 @@ def solve_single_user_fused(plans: Sequence[_LocalizePlan]) -> List[Localization
     for plan, count in zip(plans, counts):
         objs = objectives[offset:offset + count]
         ths = thetas[offset:offset + count]
-        positions = np.concatenate(
-            [plan.pools[r][0] for r in range(len(plan.pools))], axis=0
-        )
+        positions = _take("solve_positions", (count, 2))
+        pos = 0
+        for r in range(len(plan.pools)):
+            pool = plan.pools[r][0]
+            positions[pos:pos + pool.shape[0]] = pool
+            pos += pool.shape[0]
         offset += count
         order = np.argsort(objs, kind="stable")[: plan.request.top_m]
         fits = [
@@ -379,10 +715,23 @@ class MicroBatchScheduler:
         The micro-batching trigger: drain when ``max_batch`` envelopes
         are pending or ``max_wait_s`` elapsed since the first arrival,
         whichever comes first. ``max_batch=1`` *is* per-request
-        dispatch.
+        dispatch. With ``adaptive`` on, ``max_wait_s`` is the
+        controller's hard ceiling rather than the fixed window.
+    adaptive / target_p95_s / fusion_min_depth:
+        The :class:`AdaptiveBatchController` knobs. ``adaptive=False``
+        restores the fixed ``max_wait_s`` window exactly (plus the
+        queue's ``eager_single`` policy, when set).
+        ``fusion_min_depth`` is both the controller's bypass threshold
+        and the dispatch-side cutoff below which a drained batch is
+        answered through the singleton fast path instead of the fusion
+        bookkeeping.
     idle_wait_s:
         Poll bound of the empty-queue wait (also the stop-signal
-        latency).
+        latency); non-positive values are clamped to a real
+        condition-variable wait by the queue (no busy-spin).
+    envelope_pool:
+        Optional :class:`~repro.serve.admission.EnvelopePool`; when
+        set, answered envelopes are recycled after each cycle.
     retry_policy:
         Optional :class:`~repro.faults.RetryPolicy` for the fused
         kernel evaluation. Transient failures (injected faults, engine
@@ -408,6 +757,10 @@ class MicroBatchScheduler:
         max_batch: int = 32,
         max_wait_s: float = 0.002,
         idle_wait_s: float = 0.05,
+        adaptive: bool = True,
+        target_p95_s: Optional[float] = None,
+        fusion_min_depth: int = 2,
+        envelope_pool: Optional[EnvelopePool] = None,
         retry_policy=None,
         fault_threshold: int = 3,
         cooldown_s: float = 5.0,
@@ -427,6 +780,20 @@ class MicroBatchScheduler:
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_s)
         self.idle_wait_s = float(idle_wait_s)
+        self.adaptive = bool(adaptive)
+        self.fusion_min_depth = int(fusion_min_depth)
+        self.controller = AdaptiveBatchController(
+            max_wait_s=self.max_wait_s,
+            fusion_min_depth=fusion_min_depth,
+            target_p95_s=target_p95_s,
+            adaptive=self.adaptive,
+        )
+        if self.adaptive:
+            # The queue feeds the arrival EWMA from its offer path.
+            queue.controller = self.controller
+        self.arena = BatchArena()
+        self.envelope_pool = envelope_pool
+        self._match_workspace: Dict[str, np.ndarray] = {}
         self.retry_policy = retry_policy
         self.governor = BackendGovernor(
             engine,
@@ -476,6 +843,7 @@ class MicroBatchScheduler:
             self.max_batch,
             wait_timeout=self.idle_wait_s,
             batch_wait=self.max_wait_s,
+            controller=self.controller if self.adaptive else None,
         )
         for item in expired:
             self._complete_error(
@@ -484,7 +852,16 @@ class MicroBatchScheduler:
             )
         if batch:
             self._process(batch)
-        return len(batch) + len(expired)
+        answered = len(batch) + len(expired)
+        pool = self.envelope_pool
+        if pool is not None:
+            # Every drained envelope is answered by now (_process
+            # guarantees it); recycle the shells.
+            for item in expired:
+                pool.release(item)
+            for item in batch:
+                pool.release(item)
+        return answered
 
     # ------------------------------------------------------------------
     def _process(self, batch: List[PendingRequest]) -> None:
@@ -515,15 +892,21 @@ class MicroBatchScheduler:
             return
         batch_size = len(live)
         engine = self.governor.current_engine()
-        if batch_size == 1:
-            self._process_one(live[0], engine, taken_at)
+        if batch_size < max(2, self.fusion_min_depth):
+            # Below the fusion threshold the cross-request bookkeeping
+            # costs more than it amortizes; dispatch singly.
+            for item in live:
+                self._process_one(item, engine, taken_at)
             return
 
         localize = [i for i in live if isinstance(i.request, LocalizeRequest)]
         track = [i for i in live if isinstance(i.request, TrackStepRequest)]
 
         try:
-            prematches = fuse_map_matches(self.fingerprint_map, localize)
+            prematches = fuse_map_matches(
+                self.fingerprint_map, localize,
+                workspace=self._match_workspace,
+            )
         except Exception as exc:
             # Observable fallback to per-request matching (values are
             # unchanged either way); a silent swallow here hid real
@@ -558,7 +941,9 @@ class MicroBatchScheduler:
                         f"{type(exc).__name__}: {exc}",
                     )
                 plans = []
-        self.metrics.record_batch(batch_size, self.queue.depth(), fused_rows)
+        self.metrics.record_batch(
+            batch_size, self.queue.depth_hint(), fused_rows
+        )
 
         singles = [p for p in plans if p.request.user_count == 1]
         multis = [p for p in plans if p.request.user_count > 1]
@@ -570,7 +955,7 @@ class MicroBatchScheduler:
             groups.setdefault(plan.objective.sniffer_count, []).append(plan)
         for group in groups.values():
             try:
-                results = solve_single_user_fused(group)
+                results = solve_single_user_fused(group, arena=self.arena)
             except Exception as exc:
                 for plan in group:
                     self._complete_error(
@@ -603,14 +988,15 @@ class MicroBatchScheduler:
         overhead goes away.
         """
         if isinstance(item.request, TrackStepRequest):
-            self.metrics.record_batch(1, self.queue.depth(), 0)
+            self.metrics.record_batch(1, self.queue.depth_hint(), 0)
             self._process_track([item], 1, taken_at)
             return
         prematch = None
         if _fused_match_eligible(self.fingerprint_map, item.request):
             try:
                 prematch = fuse_map_matches(
-                    self.fingerprint_map, [item]
+                    self.fingerprint_map, [item],
+                    workspace=self._match_workspace,
                 ).get(id(item))
             except Exception as exc:
                 _LOG.warning(
@@ -624,15 +1010,15 @@ class MicroBatchScheduler:
             )
             fused_rows = self._fused_kernels([plan], engine)
         except Exception as exc:
-            self.metrics.record_batch(1, self.queue.depth(), 0)
+            self.metrics.record_batch(1, self.queue.depth_hint(), 0)
             self._complete_error(
                 item, ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
             )
             return
-        self.metrics.record_batch(1, self.queue.depth(), fused_rows)
+        self.metrics.record_batch(1, self.queue.depth_hint(), fused_rows)
         try:
             if plan.request.user_count == 1:
-                result = solve_single_user_fused([plan])[0]
+                result = solve_single_user_fused([plan], arena=self.arena)[0]
             else:
                 result = solve_multi_user(plan, engine=engine)
         except Exception as exc:
@@ -650,15 +1036,17 @@ class MicroBatchScheduler:
         *this* batch, with the governor counting the fault toward a
         cool-down lease. Serial evaluation of the same pools is bitwise-
         identical in float64, so degradation never changes a reply.
+        A retry restages the same plans into the same arena buffers —
+        a deterministic overwrite, not an accumulation.
         """
 
         def run(eng) -> int:
             if self.retry_policy is None:
                 return fuse_pool_kernels(self.localizer.model, plans,
-                                         engine=eng)
+                                         engine=eng, arena=self.arena)
             return call_with_retry(
                 lambda: fuse_pool_kernels(self.localizer.model, plans,
-                                          engine=eng),
+                                          engine=eng, arena=self.arena),
                 self.retry_policy,
                 on_retry=lambda attempt, exc: self.metrics.record_retry(
                     "serve.batch.fuse"

@@ -38,6 +38,7 @@ from repro.serve.admission import (
     REJECTED,
     TIMED_OUT,
     AdmissionQueue,
+    EnvelopePool,
     PendingRequest,
 )
 from repro.serve.metrics import ServerMetrics
@@ -81,7 +82,19 @@ class LocalizationService:
         build.
     max_batch / max_wait_s:
         Micro-batching trigger (``max_batch=1`` is per-request
-        dispatch; the benchmark's baseline).
+        dispatch; the benchmark's baseline). With ``adaptive`` on,
+        ``max_wait_s`` is the hard ceiling of the controller-sized
+        linger window rather than a fixed wait.
+    adaptive / target_p95_s / fusion_min_depth:
+        The scheduler's :class:`~repro.serve.scheduler.
+        AdaptiveBatchController` knobs: ``adaptive`` (default on)
+        sizes the linger window from the arrival-rate EWMA and queue
+        depth; ``target_p95_s`` optionally caps how long the oldest
+        queued request may age before dispatch (SLO-aware);
+        ``fusion_min_depth`` is the depth below which fusion is
+        bypassed and requests dispatch singly (the depth-k
+        generalization of ``eager_single``). ``adaptive=False``
+        restores the fixed-window scheduler exactly.
     queue_capacity / admission_policy / block_timeout_s / per_client_limit:
         Admission control (see :class:`~repro.serve.admission.
         AdmissionQueue`).
@@ -89,6 +102,8 @@ class LocalizationService:
         On by default for a service: a lone queued request dispatches
         without the batch-fill linger (the 1-client latency fix); the
         linger still runs whenever two or more requests are queued.
+        Only consulted with ``adaptive=False`` — the adaptive
+        controller's depth bypass supersedes it.
     metrics:
         Optional externally owned :class:`ServerMetrics`.
     retry_policy:
@@ -114,6 +129,9 @@ class LocalizationService:
         map_resolution: Optional[float] = None,
         max_batch: int = 32,
         max_wait_s: float = 0.002,
+        adaptive: bool = True,
+        target_p95_s: Optional[float] = None,
+        fusion_min_depth: int = 2,
         queue_capacity: int = 512,
         admission_policy: str = "reject",
         block_timeout_s: Optional[float] = 5.0,
@@ -161,7 +179,9 @@ class LocalizationService:
             block_timeout_s=block_timeout_s,
             per_client_limit=per_client_limit,
             eager_single=eager_single,
+            urgent_slack_s=max(0.01, 4.0 * max_wait_s),
         )
+        self._envelopes = EnvelopePool(capacity=max(64, queue_capacity))
         self.scheduler = MicroBatchScheduler(
             localizer=self.localizer,
             queue=self.queue,
@@ -171,10 +191,22 @@ class LocalizationService:
             session_lookup=self._session_for,
             max_batch=max_batch,
             max_wait_s=max_wait_s,
+            adaptive=adaptive,
+            target_p95_s=target_p95_s,
+            fusion_min_depth=fusion_min_depth,
+            envelope_pool=self._envelopes,
             idle_wait_s=idle_wait_s,
             retry_policy=retry_policy,
             fault_threshold=fault_threshold,
             cooldown_s=cooldown_s,
+        )
+        self.metrics.attach_probes(
+            kernel_cache=(
+                fingerprint_map.cache if fingerprint_map is not None else None
+            ),
+            controller=self.scheduler.controller,
+            arena=self.scheduler.arena,
+            envelope_pool=self._envelopes,
         )
         self._sessions: Dict[str, TrackingSession] = {}
         self._sessions_lock = threading.Lock()
@@ -222,6 +254,7 @@ class LocalizationService:
         if not drain:
             for item in self.queue.drain_all():
                 self._complete_shutdown(item)
+                self._envelopes.release(item)
                 flushed += 1
         if self._started:
             self.scheduler.stop()
@@ -229,6 +262,7 @@ class LocalizationService:
         # submit(); anything still queued (scheduler died) flushes here.
         for item in self.queue.drain_all():
             self._complete_shutdown(item)
+            self._envelopes.release(item)
             flushed += 1
         checkpoints: Dict[str, str] = {}
         if checkpoint_dir is not None:
@@ -324,16 +358,20 @@ class LocalizationService:
                 f"request must be a LocalizeRequest or TrackStepRequest, "
                 f"got {type(request).__name__}"
             )
-        item = PendingRequest.wrap(request)
+        item = self._envelopes.acquire(request)
+        # Capture the future before the envelope can reach the
+        # scheduler: once offered, the scheduler may answer *and
+        # recycle* the envelope before offer() even returns.
+        future = item.future
         self.metrics.record_submit()
         outcome = self.queue.offer(item)
         if outcome == ADMITTED:
-            return item.future
+            return future
         code = _OUTCOME_CODES[outcome]
         if outcome in (REJECTED, TIMED_OUT):
             self.metrics.record_rejection(timed_out=outcome == TIMED_OUT)
         latency = item.latency()
-        item.future.set_result(
+        future.set_result(
             ErrorReply(
                 request_id=request.request_id,
                 client_id=request.client_id,
@@ -342,8 +380,9 @@ class LocalizationService:
                 latency_s=latency,
             )
         )
+        self._envelopes.release(item)
         self.metrics.record_error(code, latency)
-        return item.future
+        return future
 
     def call(self, request, timeout: Optional[float] = None):
         """Blocking convenience: submit, wait, raise on error replies."""

@@ -236,7 +236,7 @@ class TestPrematchObserved:
         broken = {"count": 0}
         original = fmap.match_many
 
-        def exploding(values, ks):
+        def exploding(values, ks, **kwargs):
             broken["count"] += 1
             raise RuntimeError("prematch blew up")
 
