@@ -8,6 +8,7 @@ shell pipelines; ``--output FILE`` writes machine-readable artifacts.
 from __future__ import annotations
 
 import sys
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -46,6 +47,66 @@ def _place_users(net, count, gen):
     truth = net.field.sample_uniform(count, gen)
     stretches = gen.uniform(1.0, 3.0, count)
     return truth, stretches
+
+
+class _ShutdownGuard:
+    """SIGINT/SIGTERM → a drain event instead of a stack trace.
+
+    The serving commands install one around their load phase: the first
+    signal stops *submission* (the event is checked between requests),
+    after which the normal drain-and-checkpoint shutdown path runs and
+    the process exits 0 deterministically — in-flight work still gets
+    its typed replies, checkpoints are still written, ``--metrics-out``
+    is still flushed. A second signal restores the default handler's
+    behavior (the escape hatch when a drain wedges).
+    """
+
+    def __init__(self):
+        self.event = threading.Event()
+        self._previous = {}
+
+    @property
+    def triggered(self) -> bool:
+        return self.event.is_set()
+
+    def install(self) -> "_ShutdownGuard":
+        import signal
+
+        def _handle(signum, frame):
+            if self.event.is_set():
+                # Second signal: give up gracefulness.
+                signal.signal(signum, signal.SIG_DFL)
+                signal.raise_signal(signum)
+                return
+            print(
+                f"\nreceived {signal.Signals(signum).name}; draining "
+                "(signal again to force quit)",
+                file=sys.stderr,
+            )
+            self.event.set()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous[signum] = signal.signal(signum, _handle)
+            except (ValueError, OSError):
+                pass  # not the main thread (tests): run unguarded
+        return self
+
+    def restore(self) -> None:
+        import signal
+
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
+        self._previous.clear()
+
+    def __enter__(self) -> "_ShutdownGuard":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.restore()
 
 
 def _load_fault_plan(args):
@@ -581,9 +642,12 @@ def cmd_serve(args) -> int:
 
     lock = threading.Lock()
     ok_replies, error_codes, errors = [], [], []
+    guard = _ShutdownGuard()
 
     def run_localize(client_id, requests, truths):
         for request, truth in zip(requests, truths):
+            if guard.triggered:
+                return
             reply = service.submit(request).result()
             with lock:
                 if reply.ok:
@@ -594,6 +658,8 @@ def cmd_serve(args) -> int:
 
     def run_track(session_id, observations):
         for r, obs in enumerate(observations):
+            if guard.triggered:
+                return
             reply = service.submit(
                 TrackStepRequest(
                     request_id=f"{session_id}-r{r}",
@@ -632,7 +698,7 @@ def cmd_serve(args) -> int:
     )
     from repro.faults import injected
 
-    with injected(plan):
+    with injected(plan), guard:
         service.start()
         start = time.perf_counter()
         for thread in threads:
@@ -641,6 +707,8 @@ def cmd_serve(args) -> int:
             thread.join()
         elapsed = time.perf_counter() - start
         summary = service.stop(checkpoint_dir=args.checkpoint_dir)
+    if guard.triggered:
+        print("drained after shutdown signal")
     if endpoint is not None:
         endpoint.stop()
     if plan is not None:
@@ -773,9 +841,12 @@ def cmd_fleet(args) -> int:
 
     lock = threading.Lock()
     ok_replies, error_codes, errors = [], [], []
+    guard = _ShutdownGuard()
 
     def run_localize(client_id, requests, truths):
         for request, truth in zip(requests, truths):
+            if guard.triggered:
+                return
             reply = fleet.submit(request).result()
             with lock:
                 if reply.ok:
@@ -786,6 +857,8 @@ def cmd_fleet(args) -> int:
 
     def run_track(session_id, seed, observations):
         for r, obs in enumerate(observations):
+            if guard.triggered:
+                return
             reply = fleet.submit(
                 TrackStepRequest(
                     request_id=f"{session_id}-r{r}",
@@ -827,23 +900,28 @@ def cmd_fleet(args) -> int:
     with injected(plan):
         fleet.start()
     try:
-        endpoint = None
-        if args.metrics_port is not None:
-            endpoint = MetricsServer(fleet=fleet, port=args.metrics_port)
-            print(f"metrics on http://127.0.0.1:{endpoint.start()}/metrics")
-        for session_id, seed, _ in track_work:
-            fleet.open_session(session_id, args.users, seed=seed)
-        start = time.perf_counter()
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        elapsed = time.perf_counter() - start
-        snapshot = fleet.fleet_snapshot()
-        if endpoint is not None:
-            endpoint.stop()
+        with guard:
+            endpoint = None
+            if args.metrics_port is not None:
+                endpoint = MetricsServer(fleet=fleet, port=args.metrics_port)
+                print(
+                    f"metrics on http://127.0.0.1:{endpoint.start()}/metrics"
+                )
+            for session_id, seed, _ in track_work:
+                fleet.open_session(session_id, args.users, seed=seed)
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            snapshot = fleet.fleet_snapshot()
+            if endpoint is not None:
+                endpoint.stop()
     finally:
         fleet.stop()
+    if guard.triggered:
+        print("drained after shutdown signal")
     if plan is not None:
         print(f"fault plan: {plan.summary()}")
 
@@ -877,6 +955,281 @@ def cmd_fleet(args) -> int:
     else:
         print(metrics_json)
     return 0
+
+
+#: Stage order of the printed latency-decomposition table.
+_STAGE_ORDER = (
+    "gateway_in", "admission", "fuse", "solve", "reply", "gateway_out",
+)
+
+
+def _print_stage_table(stages: dict) -> None:
+    known = [s for s in _STAGE_ORDER if s in stages]
+    known += [s for s in sorted(stages) if s not in _STAGE_ORDER]
+    if not known:
+        return
+    print(f"{'stage':<12} {'p50 ms':>9} {'p95 ms':>9} {'count':>8}")
+    for stage in known:
+        row = stages[stage]
+        p50 = row.get("p50_s")
+        p95 = row.get("p95_s")
+        print(
+            f"{stage:<12} "
+            f"{(p50 * 1000 if p50 is not None else float('nan')):>9.3f} "
+            f"{(p95 * 1000 if p95 is not None else float('nan')):>9.3f} "
+            f"{row.get('count', 0):>8}"
+        )
+
+
+def _drive_gateway(
+    args, host, port, localize_work, track_work, deadline_s, guard=None
+) -> int:
+    """Drive the pre-generated load through a gateway over real sockets."""
+    import asyncio
+    import time
+    from collections import Counter
+
+    from repro.errors import GatewayError
+    from repro.gateway import GatewayClient
+
+    counts = {"ok": 0, "dead": 0}
+    error_codes: Counter = Counter()
+
+    async def localize_client(c, obs_list):
+        client = GatewayClient(host, port, f"client-{c}")
+        try:
+            await client.connect()
+            for obs, seed in obs_list:
+                if guard is not None and guard.triggered:
+                    break
+                reply = await client.localize(
+                    obs,
+                    user_count=args.users,
+                    candidate_count=args.candidates,
+                    restarts=args.restarts,
+                    seed=seed,
+                    deadline_s=deadline_s,
+                )
+                if reply.get("ok"):
+                    counts["ok"] += 1
+                else:
+                    error_codes[reply.get("code", "unknown")] += 1
+        except (GatewayError, asyncio.TimeoutError, OSError):
+            counts["dead"] += 1
+        finally:
+            await client.close()
+
+    async def track_client(session_id, seed, windows):
+        client = GatewayClient(host, port, session_id)
+        try:
+            await client.connect()
+            opened = await client.open_session(
+                session_id, args.users, seed=seed
+            )
+            if not opened.get("session_id"):
+                error_codes[opened.get("code", "unknown")] += 1
+                return
+            for obs in windows:
+                if guard is not None and guard.triggered:
+                    break
+                reply = await client.track_step(session_id, obs)
+                if reply.get("ok"):
+                    counts["ok"] += 1
+                else:
+                    error_codes[reply.get("code", "unknown")] += 1
+        except (GatewayError, asyncio.TimeoutError, OSError):
+            counts["dead"] += 1
+        finally:
+            await client.close()
+
+    async def main():
+        start = time.perf_counter()
+        jobs = [
+            localize_client(c, obs_list)
+            for c, obs_list in enumerate(localize_work)
+        ] + [
+            track_client(session_id, seed, windows)
+            for session_id, seed, windows in track_work
+        ]
+        await asyncio.gather(*jobs)
+        elapsed = time.perf_counter() - start
+        stages = {}
+        try:
+            async with GatewayClient(host, port, "probe") as probe:
+                dump = await probe.trace_dump()
+                stages = dump.get("stages", {})
+        except (GatewayError, OSError):
+            pass
+        return elapsed, stages
+
+    try:
+        elapsed, stages = asyncio.run(main())
+    except ConnectionRefusedError as exc:
+        print(f"cannot reach gateway {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    total = counts["ok"] + sum(error_codes.values())
+    rps = total / elapsed if elapsed > 0 else float("nan")
+    print(
+        f"{total} replies in {elapsed:.2f}s ({rps:.0f} req/s over the "
+        f"wire): {counts['ok']} ok, {sum(error_codes.values())} errors, "
+        f"{counts['dead']} dead connections"
+    )
+    for code, count in sorted(error_codes.items()):
+        print(f"  {code}: {count}")
+    _print_stage_table(stages)
+    return 0
+
+
+def cmd_gateway(args) -> int:
+    import time
+
+    from repro.errors import ConfigurationError
+    from repro.faults import injected
+    from repro.gateway import GatewayGovernor, GatewayServer
+    from repro.serve import LocalizationService, MetricsServer
+
+    gen = as_generator(args.seed)
+    net = _network_from(args)
+    sniffers = sample_sniffers_percentage(net, args.percentage, rng=gen)
+    measure = MeasurementModel(net, sniffers, smooth=True, rng=gen)
+    deadline_s = (
+        args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+    )
+
+    # Pre-generate the synthetic load. Both modes use it: the serve
+    # mode drives its own gateway, --connect drives a remote one (built
+    # from the same network args, so the observations match the remote
+    # deployment when the seeds match).
+    localize_work = []
+    for c in range(args.clients):
+        obs_list = []
+        for _ in range(args.requests):
+            truth, stretches = _place_users(net, args.users, gen)
+            flux = simulate_flux(net, list(truth), list(stretches), rng=gen)
+            obs_list.append(
+                (measure.observe(flux), int(gen.integers(2**31)))
+            )
+        localize_work.append(obs_list)
+    track_work = []
+    for t in range(args.track_sessions):
+        from repro.stream import SyntheticLiveSource
+
+        live = SyntheticLiveSource(
+            net, sniffers, user_count=args.users,
+            rounds=args.requests, rng=gen,
+        )
+        track_work.append(
+            (f"track-{t}", int(gen.integers(2**31)), list(live))
+        )
+
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            print(
+                f"--connect needs HOST:PORT, got {args.connect!r}",
+                file=sys.stderr,
+            )
+            return 1
+        with _ShutdownGuard() as guard:
+            return _drive_gateway(
+                args, host or "127.0.0.1", port,
+                localize_work, track_work, deadline_s, guard=guard,
+            )
+
+    try:
+        service = LocalizationService(
+            net.field,
+            net.positions[sniffers],
+            engine=_engine_from(args),
+            map_resolution=args.map_resolution,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1000.0,
+            target_p95_s=(
+                args.target_p95_ms / 1000.0
+                if args.target_p95_ms is not None else None
+            ),
+            fusion_min_depth=args.fusion_min_depth,
+            queue_capacity=args.queue_capacity,
+            admission_policy=args.policy,
+        )
+    except ConfigurationError as exc:
+        print(f"cannot build service: {exc}", file=sys.stderr)
+        return 1
+    try:
+        plan = _load_fault_plan(args)
+    except ConfigurationError as exc:
+        print(f"cannot load fault plan {args.fault_plan}: {exc}",
+              file=sys.stderr)
+        return 1
+    governor = None
+    if args.slo_p95_ms is not None:
+        governor = GatewayGovernor(
+            service,
+            slo_p95_s=args.slo_p95_ms / 1000.0,
+            interval_s=args.governor_interval_ms / 1000.0,
+        )
+    service.start()
+    gateway = GatewayServer(
+        service, host="127.0.0.1", port=args.port, governor=governor
+    )
+    guard = _ShutdownGuard()
+    code = 0
+    endpoint = None
+    try:
+        port = gateway.start()
+        print(
+            f"gateway on 127.0.0.1:{port} fronting "
+            f"{sniffers.size}/{net.node_count} sniffed nodes"
+            + (f"; governor SLO p95 {args.slo_p95_ms:g}ms"
+               if governor is not None else "")
+        )
+        if args.metrics_port is not None:
+            endpoint = MetricsServer(service.metrics, port=args.metrics_port)
+            print(f"metrics on http://127.0.0.1:{endpoint.start()}/metrics")
+        with injected(plan), guard:
+            if args.clients > 0 or args.track_sessions > 0:
+                code = _drive_gateway(
+                    args, "127.0.0.1", port,
+                    localize_work, track_work, deadline_s, guard=guard,
+                )
+            else:
+                stop_at = (
+                    None if args.duration is None
+                    else time.monotonic() + args.duration
+                )
+                while not guard.triggered:
+                    if stop_at is not None and time.monotonic() >= stop_at:
+                        break
+                    guard.event.wait(0.2)
+    finally:
+        gateway.stop()
+        service.stop(checkpoint_dir=args.checkpoint_dir)
+        if endpoint is not None:
+            endpoint.stop()
+    if guard.triggered:
+        print("drained after shutdown signal")
+    if plan is not None:
+        print(f"fault plan: {plan.summary()}")
+    snap = gateway.snapshot()
+    print(
+        f"gateway: {snap['connections_opened']} connections, "
+        f"{snap['frames_received']} frames in / {snap['frames_sent']} out, "
+        f"{snap['replies_dropped']} replies dropped, "
+        f"{snap['protocol_errors']} protocol errors"
+    )
+    if governor is not None:
+        gov = governor.snapshot()
+        print(
+            f"governor: {gov['ticks']} ticks, "
+            f"{gov['adjustments_total']} adjustments; knobs {gov['knobs']}"
+        )
+    metrics_json = service.metrics.to_json()
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(metrics_json + "\n")
+        print(f"wrote metrics to {args.metrics_out}")
+    return code
 
 
 def cmd_defend(args) -> int:

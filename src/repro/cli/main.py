@@ -443,6 +443,121 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=commands.cmd_fleet)
 
     p = sub.add_parser(
+        "gateway",
+        help="run the asyncio TCP gateway in front of a localization "
+        "service (or drive a remote one with --connect)",
+    )
+    _network_args(p)
+    _engine_args(p)
+    p.add_argument(
+        "--percentage", type=float, default=20.0, help="%% of nodes sniffed"
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="gateway TCP port (0 = ephemeral; the bound port is printed "
+        "and reported in the gateway snapshot)",
+    )
+    p.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="client mode: drive the synthetic load against a remote "
+        "gateway instead of serving one",
+    )
+    p.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="concurrent gateway connections driving localize traffic "
+        "(0 with --track-sessions 0 = serve idle until --duration/signal)",
+    )
+    p.add_argument(
+        "--requests", type=int, default=10, help="requests per connection"
+    )
+    p.add_argument(
+        "--users", type=int, default=1, help="users fitted per request"
+    )
+    p.add_argument("--candidates", type=int, default=128)
+    p.add_argument("--restarts", type=int, default=1)
+    p.add_argument(
+        "--track-sessions",
+        type=int,
+        default=0,
+        help="also stream this many tracking sessions through the gateway",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="idle-serve mode: stop after this many seconds "
+        "(default: wait for SIGINT/SIGTERM)",
+    )
+    p.add_argument(
+        "--slo-p95-ms",
+        type=float,
+        default=None,
+        help="enable the closed-loop governor defending this reply-p95 "
+        "SLO (auto-tunes linger target, fusion depth, admission capacity)",
+    )
+    p.add_argument(
+        "--governor-interval-ms",
+        type=float,
+        default=500.0,
+        help="governor control-loop tick period",
+    )
+    p.add_argument("--max-batch", type=int, default=32)
+    p.add_argument("--max-wait-ms", type=float, default=2.0)
+    p.add_argument(
+        "--target-p95-ms",
+        type=float,
+        default=None,
+        help="initial adaptive-controller SLO hint (the governor moves it)",
+    )
+    p.add_argument("--fusion-min-depth", type=int, default=2)
+    p.add_argument(
+        "--queue-capacity", type=int, default=512, help="admission queue bound"
+    )
+    p.add_argument(
+        "--policy", choices=["reject", "block"], default="reject"
+    )
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline carried in the request frames",
+    )
+    p.add_argument(
+        "--map-resolution",
+        type=float,
+        default=None,
+        help="build the deployment's map at this resolution before serving",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="drain-and-checkpoint tracking sessions here on shutdown",
+    )
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="expose GET /metrics and GET /trace on this port "
+        "(0 = ephemeral)",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, help="write the final metrics JSON here"
+    )
+    p.add_argument(
+        "--fault-plan",
+        default=None,
+        help="arm this fault-plan JSON (gateway.client.slow / "
+        "gateway.conn.half_open / gateway.frame.torn chaos sites)",
+    )
+    p.set_defaults(handler=commands.cmd_gateway)
+
+    p = sub.add_parser(
         "defend", help="evaluate padding / dummy-sink countermeasures"
     )
     _network_args(p)

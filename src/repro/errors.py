@@ -130,3 +130,14 @@ class DeadlineExpired(ServeError):
 
     Expired work is never silently dropped: the scheduler purges it
     from the queue and completes it with this typed error."""
+
+
+class GatewayError(ServeError):
+    """Base class for failures of the network gateway front-end."""
+
+
+class ProtocolError(GatewayError):
+    """A wire frame violated the gateway protocol — unparseable JSON,
+    a missing or unknown frame type, or an oversized frame. The peer
+    receives a typed ``error`` frame; well-formed traffic on the same
+    connection continues."""

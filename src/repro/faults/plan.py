@@ -22,6 +22,13 @@ site                      effect at the call site
                           mid-batch
 ``fleet.worker.exit``     a fleet worker process ``os._exit``\\ s on
                           request receipt (killed between track steps)
+``gateway.client.slow``   the gateway stalls ``delay_s`` before writing a
+                          reply frame (a slow-consuming client)
+``gateway.conn.half_open`` the gateway aborts a connection's transport on
+                          frame receipt without a FIN (half-open peer;
+                          in-flight replies are discarded and counted)
+``gateway.frame.torn``    a reply frame is written half, then the
+                          connection is torn down mid-frame
 ======================== ==================================================
 
 Determinism and overhead are the two contracts:
@@ -74,6 +81,9 @@ KNOWN_SITES = (
     "checkpoint.fsync",
     "serve.batch.fuse",
     "fleet.worker.exit",
+    "gateway.client.slow",
+    "gateway.conn.half_open",
+    "gateway.frame.torn",
 )
 
 

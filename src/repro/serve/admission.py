@@ -96,6 +96,10 @@ class PendingRequest:
     submitted_at: float
     expires_at: Optional[float] = None
     batch_size: int = field(default=0)
+    #: Per-stage trace stamps ``[(stage, monotonic_t), ...]`` appended
+    #: by the scheduler as the request crosses admission → fuse →
+    #: solve → reply. ``None`` until the first stamp; reset on reuse.
+    stages: Optional[list] = field(default=None)
 
     @classmethod
     def wrap(cls, request, now: Optional[float] = None) -> "PendingRequest":
@@ -118,7 +122,38 @@ class PendingRequest:
             None if deadline_s is None else now + float(deadline_s)
         )
         self.batch_size = 0
+        self.stages = None
         return self
+
+    def stamp(self, stage: str, now: Optional[float] = None) -> None:
+        """Mark the *end* of ``stage`` at ``now`` (monotonic seconds)."""
+        if self.stages is None:
+            self.stages = []
+        self.stages.append(
+            (stage, _clock.monotonic() if now is None else now)
+        )
+
+    def stage_durations(
+        self, now: Optional[float] = None
+    ) -> List[Tuple[str, float]]:
+        """``[(stage, seconds), ...]`` from the stamps, in stamp order.
+
+        Each stage's duration runs from the previous stamp (or
+        ``submitted_at`` for the first) to its own stamp; a final
+        ``reply`` stage is synthesized at ``now`` when the last stamp
+        is not already a reply, so the durations always sum to the
+        request's total latency.
+        """
+        now = _clock.monotonic() if now is None else now
+        out: List[Tuple[str, float]] = []
+        previous = self.submitted_at
+        stamps = self.stages or []
+        for stage, at in stamps:
+            out.append((stage, at - previous))
+            previous = at
+        if not stamps or stamps[-1][0] != "reply":
+            out.append(("reply", now - previous))
+        return out
 
     def expired(self, now: Optional[float] = None) -> bool:
         if self.expires_at is None:

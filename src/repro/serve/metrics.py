@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import json
 import threading
-from collections import Counter
+from collections import Counter, deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlparse
 
 import numpy as np
@@ -41,7 +41,7 @@ def _nan_safe_deep(value):
 class ServerMetrics:
     """Counters, histograms, and latency quantiles for one service."""
 
-    def __init__(self, latency_capacity: int = 8192):
+    def __init__(self, latency_capacity: int = 8192, trace_capacity: int = 256):
         self._lock = threading.Lock()
         self._latencies = LatencyReservoir(latency_capacity)
         self._queue_wait = LatencyReservoir(latency_capacity)
@@ -59,6 +59,16 @@ class ServerMetrics:
         self.backend_fallbacks = 0  # parallel backend leased out (serial mode)
         self.backend_reescalations = 0  # parallel backend restored
         self.internal_faults: Counter = Counter()  # by origin site
+        # Per-stage latency decomposition (admission → fuse → solve →
+        # reply, plus gateway_in/gateway_out when a gateway fronts the
+        # service). Reservoirs are created lazily per stage name so the
+        # decomposition reports exactly the stages the request path hit.
+        self._stage_latencies: Dict[str, LatencyReservoir] = {}
+        self._stage_capacity = int(latency_capacity)
+        self._traces: deque = deque(maxlen=trace_capacity)
+        self.traces_recorded = 0
+        self.governor_adjustments: Counter = Counter()  # by knob name
+        self.endpoint: Optional[Dict[str, object]] = None  # bound HTTP addr
         self._probes: Dict[str, object] = {}  # live objects we snapshot
 
     def attach_probes(
@@ -67,6 +77,7 @@ class ServerMetrics:
         controller=None,
         arena=None,
         envelope_pool=None,
+        governor=None,
     ) -> None:
         """Register live scheduler internals for snapshot reporting.
 
@@ -83,6 +94,7 @@ class ServerMetrics:
                 ("controller", controller),
                 ("arena", arena),
                 ("envelope_pool", envelope_pool),
+                ("governor", governor),
             ):
                 if probe is not None:
                     self._probes[name] = probe
@@ -151,6 +163,86 @@ class ServerMetrics:
             self.internal_faults[where] += 1
 
     # ------------------------------------------------------------------
+    # Tracing: per-stage latency decomposition and the trace ring.
+    # ------------------------------------------------------------------
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """One sample of a single stage (the gateway's in/out legs)."""
+        with self._lock:
+            self._record_stage_locked(stage, seconds)
+
+    def _record_stage_locked(self, stage: str, seconds: float) -> None:
+        reservoir = self._stage_latencies.get(stage)
+        if reservoir is None:
+            reservoir = LatencyReservoir(self._stage_capacity)
+            self._stage_latencies[stage] = reservoir
+        reservoir.record(seconds)
+
+    def record_trace(
+        self,
+        span_id: str,
+        request_id: str,
+        stage_durations: Sequence[Tuple[str, float]],
+        ok: bool = True,
+    ) -> None:
+        """One completed request's stage decomposition.
+
+        Feeds every stage's reservoir and appends one entry to the
+        bounded trace ring (the ``trace dump`` payload). Stamped by the
+        scheduler at reply time; ``stage_durations`` is
+        :meth:`~repro.serve.admission.PendingRequest.stage_durations`
+        output, so the durations sum to the reply's total latency.
+        """
+        with self._lock:
+            stages: Dict[str, float] = {}
+            for stage, seconds in stage_durations:
+                self._record_stage_locked(stage, seconds)
+                stages[stage] = stages.get(stage, 0.0) + float(seconds)
+            self.traces_recorded += 1
+            self._traces.append({
+                "span_id": span_id,
+                "request_id": request_id,
+                "ok": bool(ok),
+                "stages": stages,
+                "total_s": float(sum(stages.values())),
+            })
+
+    def recent_traces(self, limit: Optional[int] = None) -> List[Dict]:
+        """Newest-last copy of the trace ring (the ``/trace`` payload)."""
+        with self._lock:
+            traces = list(self._traces)
+        if limit is not None:
+            limit = max(0, int(limit))
+            traces = traces[len(traces) - limit:] if limit else []
+        return traces
+
+    def stage_quantiles(self) -> Dict[str, Dict[str, float]]:
+        """``{stage: {"p50_s": ..., "p95_s": ..., "count": n}}``."""
+        with self._lock:
+            return self._stage_quantiles_locked()
+
+    def _stage_quantiles_locked(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for stage, reservoir in self._stage_latencies.items():
+            quantiles = reservoir.quantiles((0.50, 0.95))
+            out[stage] = {
+                "p50_s": quantiles["p50"],
+                "p95_s": quantiles["p95"],
+                "count": reservoir.count,
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    def record_governor_adjustment(self, knob: str) -> None:
+        """The gateway governor moved ``knob`` (every move is counted)."""
+        with self._lock:
+            self.governor_adjustments[knob] += 1
+
+    def set_endpoint(self, host: str, port: int) -> None:
+        """Record the bound HTTP endpoint for snapshot reporting."""
+        with self._lock:
+            self.endpoint = {"host": str(host), "port": int(port)}
+
+    # ------------------------------------------------------------------
     def latency_quantiles(self) -> Dict[str, float]:
         """p50/p95/p99 reply latency (seconds), recent window."""
         with self._lock:
@@ -202,7 +294,18 @@ class ServerMetrics:
                 "latency_p99_s": quantiles["p99"],
                 "queue_wait_p50_s": waits["p50"],
                 "queue_wait_p95_s": waits["p95"],
+                "stages": self._stage_quantiles_locked(),
+                "traces_recorded": self.traces_recorded,
+                "governor_adjustments": {
+                    str(k): v
+                    for k, v in sorted(self.governor_adjustments.items())
+                },
+                "governor_adjustments_total": int(
+                    sum(self.governor_adjustments.values())
+                ),
             }
+            if self.endpoint is not None:
+                snap["metrics_endpoint"] = dict(self.endpoint)
             cache = self._probes.get("kernel_cache")
             if cache is not None:
                 snap["kernel_cache"] = {
@@ -225,15 +328,13 @@ class ServerMetrics:
                     "allocations": pool.allocations,
                     "free": len(pool),
                 }
+            governor = self._probes.get("governor")
+            if governor is not None:
+                snap["governor"] = governor.snapshot()
             return snap
 
     def to_json(self, indent: int = 2) -> str:
-        def _nan_safe(value):
-            if isinstance(value, float) and not np.isfinite(value):
-                return None
-            return value
-
-        payload = {k: _nan_safe(v) for k, v in self.snapshot().items()}
+        payload = _nan_safe_deep(self.snapshot())
         return json.dumps(payload, indent=indent, sort_keys=True)
 
 
@@ -252,6 +353,10 @@ class MetricsServer:
         Fleet mode: exactly one worker's snapshot (its flat service
         metrics plus pid and open sessions); 404 for an unknown or
         unreachable worker, and in single-service mode.
+    ``GET /trace``
+        Single-service mode: the recent trace ring plus the per-stage
+        latency decomposition (``?limit=N`` caps the trace count); 404
+        in fleet mode.
     ``GET /healthz``
         ``{"status": "ok"}``.
 
@@ -329,6 +434,28 @@ class MetricsServer:
                         body = _dump(fleet.fleet_snapshot())
                     else:
                         body = metrics.to_json().encode()
+                elif parsed.path == "/trace":
+                    if metrics is None:
+                        self.send_error(
+                            404, "trace dump needs single-service mode"
+                        )
+                        return
+                    query = parse_qs(parsed.query)
+                    limit = None
+                    if "limit" in query:
+                        try:
+                            limit = int(query["limit"][0])
+                        except ValueError:
+                            self.send_error(
+                                400,
+                                f"limit must be an int, "
+                                f"got {query['limit'][0]!r}",
+                            )
+                            return
+                    body = _dump({
+                        "traces": metrics.recent_traces(limit),
+                        "stages": metrics.stage_quantiles(),
+                    })
                 elif parsed.path == "/healthz":
                     body = b'{"status": "ok"}'
                 else:
@@ -352,6 +479,11 @@ class MetricsServer:
             daemon=True,
         )
         self._thread.start()
+        if metrics is not None:
+            # The bound address rides along in every snapshot, so a
+            # scrape (or an operator reading --metrics-out) learns where
+            # the live endpoint is even when port=0 picked it.
+            metrics.set_endpoint(self.host, self.port)
         return self.port
 
     def stop(self) -> None:

@@ -96,6 +96,11 @@ class LocalizeRequest:
         Relative deadline in seconds from submission. Work still queued
         when it lapses is answered with a ``deadline_expired``
         :class:`ErrorReply`.
+    span_id:
+        Optional tracing span stamped by whoever fronted this request
+        (the network gateway); threaded through the scheduler into the
+        per-stage latency decomposition and the trace ring. ``None``
+        falls back to ``request_id`` as the span key.
     """
 
     request_id: str
@@ -110,6 +115,7 @@ class LocalizeRequest:
     seed_top_k: int = 32
     use_map: bool = True
     deadline_s: Optional[float] = None
+    span_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         _require_identity(self.request_id, self.client_id)
@@ -141,6 +147,7 @@ class TrackStepRequest:
     session_id: str
     observation: FluxObservation
     deadline_s: Optional[float] = None
+    span_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         _require_identity(self.request_id, self.client_id)

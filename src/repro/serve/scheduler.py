@@ -890,6 +890,9 @@ class MicroBatchScheduler:
                 live.append(item)
         if not live:
             return
+        for item in live:
+            # Stage 1 of the latency decomposition: queue wait ends here.
+            item.stamp("admission", taken_at)
         batch_size = len(live)
         engine = self.governor.current_engine()
         if batch_size < max(2, self.fusion_min_depth):
@@ -941,6 +944,10 @@ class MicroBatchScheduler:
                         f"{type(exc).__name__}: {exc}",
                     )
                 plans = []
+            else:
+                fuse_done = _clock.monotonic()
+                for plan in plans:
+                    plan.item.stamp("fuse", fuse_done)
         self.metrics.record_batch(
             batch_size, self.queue.depth_hint(), fused_rows
         )
@@ -963,7 +970,9 @@ class MicroBatchScheduler:
                         f"{type(exc).__name__}: {exc}",
                     )
                 continue
+            solve_done = _clock.monotonic()
             for plan, result in zip(group, results):
+                plan.item.stamp("solve", solve_done)
                 self._complete_localize(plan.item, result, batch_size, taken_at)
 
         for plan in multis:
@@ -974,6 +983,7 @@ class MicroBatchScheduler:
                     plan.item, ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
                 )
                 continue
+            plan.item.stamp("solve")
             self._complete_localize(plan.item, result, batch_size, taken_at)
 
         self._process_track(track, batch_size, taken_at)
@@ -987,6 +997,7 @@ class MicroBatchScheduler:
         request's RNG streams are private — so only the dispatch
         overhead goes away.
         """
+        item.stamp("admission", taken_at)
         if isinstance(item.request, TrackStepRequest):
             self.metrics.record_batch(1, self.queue.depth_hint(), 0)
             self._process_track([item], 1, taken_at)
@@ -1015,6 +1026,7 @@ class MicroBatchScheduler:
                 item, ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
             )
             return
+        item.stamp("fuse")
         self.metrics.record_batch(1, self.queue.depth_hint(), fused_rows)
         try:
             if plan.request.user_count == 1:
@@ -1026,6 +1038,7 @@ class MicroBatchScheduler:
                 item, ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
             )
             return
+        item.stamp("solve")
         self._complete_localize(item, result, 1, taken_at)
 
     def _fused_kernels(self, plans: List[_LocalizePlan], engine) -> int:
@@ -1115,10 +1128,12 @@ class MicroBatchScheduler:
                         item, ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
                     )
                     continue
+                item.stamp("solve")
                 item.future.set_result(reply)
                 self.metrics.record_reply(
                     reply.latency_s, taken_at - item.submitted_at
                 )
+                self._finalize_trace(item, ok=True)
 
     # ------------------------------------------------------------------
     def _complete_localize(
@@ -1137,6 +1152,7 @@ class MicroBatchScheduler:
         )
         item.future.set_result(reply)
         self.metrics.record_reply(reply.latency_s, taken_at - item.submitted_at)
+        self._finalize_trace(item, ok=True)
 
     def _complete_error(
         self, item: PendingRequest, code: str, message: str
@@ -1152,3 +1168,17 @@ class MicroBatchScheduler:
             )
         )
         self.metrics.record_error(code, latency)
+        self._finalize_trace(item, ok=False)
+
+    def _finalize_trace(self, item: PendingRequest, ok: bool) -> None:
+        """Fold the envelope's stage stamps into the metrics trace ring.
+
+        The synthesized final ``reply`` stage makes the durations sum
+        to the request's total latency even on paths that never stamped
+        (admission-time errors, deadline purges).
+        """
+        request = item.request
+        span = getattr(request, "span_id", None) or request.request_id
+        self.metrics.record_trace(
+            span, request.request_id, item.stage_durations(), ok=ok
+        )

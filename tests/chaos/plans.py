@@ -48,6 +48,53 @@ def random_serve_plan(seed):
     return FaultPlan(specs, seed=seed)
 
 
+def random_gateway_slow_plan(seed):
+    """A delivery-delay-only gateway plan: nothing is ever lost.
+
+    ``gateway.client.slow`` stalls reply writes without dropping them,
+    so every request frame still gets its one reply frame and results
+    stay bitwise-identical to the no-fault run — the strongest
+    invariant the chaos harness can demand of the network layer.
+    """
+    rng = np.random.default_rng(seed)
+    return FaultPlan([FaultSpec(
+        "gateway.client.slow",
+        times=int(rng.integers(1, 4)),
+        skip=int(rng.integers(0, 4)),
+        delay_s=0.002,
+    )], seed=seed)
+
+
+def random_gateway_drop_plan(seed):
+    """A connection-killing gateway plan (torn frames, half-open peers).
+
+    These faults genuinely destroy connections, so the client under
+    test must reconnect and resend (at-least-once). The invariants
+    still hold bitwise: a resent localize recomputes deterministically
+    from its seed, and a resent track window that already landed is
+    skipped as out-of-order with tracker state untouched. Budgets stay
+    tiny (``times<=1`` per site) so a bounded retry loop always wins.
+    """
+    rng = np.random.default_rng(seed)
+    specs = []
+    if rng.random() < 0.6:
+        specs.append(FaultSpec(
+            "gateway.frame.torn", times=1, skip=int(rng.integers(0, 5)),
+        ))
+    if rng.random() < 0.6:
+        specs.append(FaultSpec(
+            "gateway.conn.half_open", times=1, skip=int(rng.integers(0, 4)),
+        ))
+    if rng.random() < 0.5:
+        specs.append(FaultSpec(
+            "gateway.client.slow", times=1,
+            skip=int(rng.integers(0, 3)), delay_s=0.002,
+        ))
+    if not specs:  # never hand back a vacuous plan
+        specs.append(FaultSpec("gateway.frame.torn", times=1, skip=1))
+    return FaultPlan(specs, seed=seed)
+
+
 def random_stream_plan(seed):
     """A stream-side plan that perturbs delivery, not tracker state.
 

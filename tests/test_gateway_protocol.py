@@ -1,0 +1,175 @@
+"""The gateway wire protocol, no sockets involved.
+
+Frames must round-trip bitwise (JSON repr floats), carry non-finite
+values as ``null`` exactly like the JSONL archive format, and turn
+every malformed input into a :class:`~repro.errors.ProtocolError` —
+the server's guarantee that garbage on the wire becomes a typed error
+frame, never a crash.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gateway import protocol
+from repro.serve.requests import ErrorReply
+from repro.traffic.measurement import FluxObservation
+
+
+def _observation(values):
+    return FluxObservation(
+        time=1.5,
+        sniffers=np.array([0, 3, 7], dtype=np.int64),
+        values=np.asarray(values, dtype=float),
+    )
+
+
+class TestFraming:
+    def test_encode_is_one_terminated_line(self):
+        data = protocol.encode_frame({"type": "ping", "id": 1})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert protocol.decode_frame(data) == {"type": "ping", "id": 1}
+
+    def test_round_trip_preserves_floats_bitwise(self):
+        values = [0.1 + 0.2, 1e-300, math.pi, -1.0 / 3.0]
+        frame = {"type": "x", "values": values}
+        decoded = protocol.decode_frame(protocol.encode_frame(frame))
+        for sent, received in zip(values, decoded["values"]):
+            assert sent == received
+            assert math.copysign(1, sent) == math.copysign(1, received)
+
+    def test_garbage_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(b"{not json\n")
+
+    def test_non_object_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(b"[1, 2, 3]\n")
+
+    def test_missing_type_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(b'{"id": 1}\n')
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(b'{"type": 7}\n')
+
+    def test_overlong_frame_is_a_protocol_error(self):
+        line = b" " * (protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(line)
+
+
+class TestObservationWire:
+    def test_round_trip_is_bitwise(self):
+        obs = _observation([1.25, -0.75, 3.0e-7])
+        back = protocol.observation_from_wire(protocol.observation_to_wire(obs))
+        assert back.time == obs.time
+        assert np.array_equal(back.sniffers, obs.sniffers)
+        assert np.array_equal(back.values, obs.values)
+
+    def test_non_finite_values_travel_as_null(self):
+        obs = _observation([1.0, float("nan"), float("inf")])
+        wire = protocol.observation_to_wire(obs)
+        # The wire dict must be strict-JSON serializable as-is.
+        text = json.dumps(wire, allow_nan=False)
+        assert "null" in text
+        back = protocol.observation_from_wire(json.loads(text))
+        assert back.values[0] == 1.0
+        assert np.isnan(back.values[1]) and np.isnan(back.values[2])
+
+    def test_bad_shapes_are_protocol_errors(self):
+        with pytest.raises(ProtocolError):
+            protocol.observation_from_wire(None)
+        with pytest.raises(ProtocolError):
+            protocol.observation_from_wire({"sniffers": [1]})  # no time
+        with pytest.raises(ProtocolError):
+            protocol.observation_from_wire(
+                {"time": "soon", "sniffers": [1], "values": [1.0]}
+            )
+
+
+class TestRequestFrames:
+    def _localize_frame(self, **extra):
+        frame = {
+            "type": "localize",
+            "id": "r1",
+            "observation": protocol.observation_to_wire(_observation([1, 2, 3])),
+        }
+        frame.update(extra)
+        return frame
+
+    def test_localize_knobs_pass_through(self):
+        request = protocol.localize_request_from_frame(
+            self._localize_frame(candidate_count=48, seed=9, use_map=False),
+            client_id="conn-1",
+            span_id="gw-1-r1",
+        )
+        assert request.request_id == "r1"
+        assert request.client_id == "conn-1"
+        assert request.candidate_count == 48
+        assert request.seed == 9
+        assert request.use_map is False
+        assert request.span_id == "gw-1-r1"
+
+    def test_frame_client_id_wins_over_connection(self):
+        request = protocol.localize_request_from_frame(
+            self._localize_frame(client_id="analyst"), client_id="conn-1"
+        )
+        assert request.client_id == "analyst"
+
+    def test_missing_id_is_a_protocol_error(self):
+        frame = self._localize_frame()
+        del frame["id"]
+        with pytest.raises(ProtocolError):
+            protocol.localize_request_from_frame(frame, "conn-1")
+
+    def test_missing_observation_is_a_protocol_error(self):
+        frame = self._localize_frame()
+        del frame["observation"]
+        with pytest.raises(ProtocolError):
+            protocol.localize_request_from_frame(frame, "conn-1")
+
+    def test_bad_knob_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            protocol.localize_request_from_frame(
+                self._localize_frame(candidate_count=-5), "conn-1"
+            )
+
+    def test_track_step_frame(self):
+        frame = {
+            "type": "track_step",
+            "id": 7,  # numeric ids are accepted and stringified
+            "session_id": "s",
+            "observation": protocol.observation_to_wire(_observation([1, 2, 3])),
+        }
+        request = protocol.track_request_from_frame(frame, "conn-2")
+        assert request.request_id == "7"
+        assert request.session_id == "s"
+
+
+class TestReplyFrames:
+    def test_error_reply_becomes_typed_error_frame(self):
+        frame = protocol.reply_to_frame(
+            ErrorReply(request_id="r1", client_id="c",
+                       code="admission_rejected", message="busy"),
+            span_id="gw-1-r1",
+        )
+        assert frame["type"] == "error"
+        assert frame["ok"] is False
+        assert frame["code"] == "admission_rejected"
+        assert frame["span_id"] == "gw-1-r1"
+        assert frame["latency_s"] is None  # NaN travels as null
+
+    def test_unframeable_reply_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            protocol.reply_to_frame(object())
+
+    def test_wire_error_frame_shape(self):
+        frame = protocol.error_frame("r9", protocol.ERROR_BAD_FRAME, "nope")
+        assert frame == {
+            "type": "error", "id": "r9", "ok": False,
+            "code": "bad_frame", "message": "nope",
+        }

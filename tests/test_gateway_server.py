@@ -1,0 +1,351 @@
+"""GatewayServer end to end over real sockets.
+
+The serve layer's exactly-one-typed-reply invariant, extended through
+the network: every request frame written by any of N concurrent
+connections gets exactly one correlated reply frame (none lost, none
+duplicated), malformed frames get typed error frames with the
+connection surviving, a connection that dies before its reply is
+written has that reply counted as dropped (never a scheduler hang),
+and a tracked session driven over the wire is bitwise-identical to a
+local tracking loop.
+"""
+
+import asyncio
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GatewayError
+from repro.fpmap import build_fingerprint_map
+from repro.gateway import GatewayClient, GatewayServer, protocol
+from repro.geometry import RectangularField
+from repro.network import build_network, sample_sniffers_percentage
+from repro.serve import LocalizationService
+from repro.smc import SequentialMonteCarloTracker
+from repro.stream import SyntheticLiveSource, TrackingSession
+from repro.traffic import MeasurementModel, simulate_flux
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    net = build_network(
+        field=RectangularField(10, 10), node_count=100, radius=2.0, rng=5
+    )
+    sniffers = sample_sniffers_percentage(net, 20, rng=2)
+    fmap = build_fingerprint_map(net.field, net.positions[sniffers],
+                                 resolution=2.0)
+    return net, sniffers, fmap
+
+
+def _service(scenario, **kwargs):
+    net, sniffers, fmap = scenario
+    kwargs.setdefault("fingerprint_map", fmap)
+    kwargs.setdefault("max_batch", 8)
+    kwargs.setdefault("max_wait_s", 0.002)
+    return LocalizationService(net.field, net.positions[sniffers], **kwargs)
+
+
+def _observations(scenario, count, seed=0):
+    net, sniffers, _ = scenario
+    gen = np.random.default_rng(seed)
+    measure = MeasurementModel(net, sniffers, smooth=True, rng=gen)
+    out = []
+    for _ in range(count):
+        truth = net.field.sample_uniform(1, gen)
+        flux = simulate_flux(
+            net, list(truth), [float(gen.uniform(1.0, 3.0))], rng=gen
+        )
+        out.append(measure.observe(flux))
+    return out
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestLifecycle:
+    def test_ephemeral_port_is_published(self, scenario):
+        with _service(scenario) as service:
+            gateway = GatewayServer(service, port=0)
+            assert gateway.port is None
+            with gateway:
+                assert isinstance(gateway.port, int) and gateway.port > 0
+                snap = gateway.snapshot()
+                assert snap["port"] == gateway.port
+                assert snap["backend"] == "LocalizationService"
+
+    def test_backend_must_expose_submit(self):
+        with pytest.raises(ConfigurationError):
+            GatewayServer(object())
+
+    def test_connect_handshake_and_ping(self, scenario):
+        with _service(scenario) as service, GatewayServer(service) as gateway:
+            async def go():
+                async with GatewayClient(
+                    "127.0.0.1", gateway.port, "probe"
+                ) as client:
+                    pong = await client.ping()
+                    return pong
+
+            pong = _run(go())
+            assert pong["type"] == "pong"
+            snap = gateway.snapshot()
+            assert snap["connections_opened"] == 1
+            assert snap["connections_open"] == 0  # closed on exit
+
+
+class TestExactlyOneReply:
+    def test_no_lost_or_duplicated_replies(self, scenario):
+        """6 connections x 5 pipelined requests: every id exactly once."""
+        observations = _observations(scenario, 5, seed=1)
+        with _service(scenario) as service, GatewayServer(service) as gateway:
+            async def one_client(c):
+                async with GatewayClient(
+                    "127.0.0.1", gateway.port, f"client-{c}", timeout_s=60.0
+                ) as client:
+                    pending = [
+                        client.localize(obs, id=f"c{c}-r{r}",
+                                        candidate_count=24, seed=c * 100 + r)
+                        for r, obs in enumerate(observations)
+                    ]
+                    return await asyncio.gather(*pending)
+
+            async def go():
+                return await asyncio.gather(
+                    *(one_client(c) for c in range(6))
+                )
+
+            replies = [f for frames in _run(go()) for f in frames]
+        ids = [f["id"] for f in replies]
+        assert len(ids) == 30
+        assert len(set(ids)) == 30  # none duplicated
+        for frame in replies:
+            assert frame["ok"] is True
+            assert frame["kind"] == "localize"
+            assert len(frame["estimates"]) >= 1
+            assert frame["span_id"].endswith(frame["id"])
+        assert gateway.metrics.replies_dropped == 0
+        assert gateway.metrics.requests_forwarded == 30
+
+    def test_malformed_frame_gets_typed_error_and_connection_survives(
+        self, scenario
+    ):
+        with _service(scenario) as service, GatewayServer(service) as gateway:
+            async def go():
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", gateway.port
+                )
+                try:
+                    writer.write(b"{this is not json\n")
+                    await writer.drain()
+                    error = json.loads(await reader.readline())
+                    writer.write(protocol.encode_frame(
+                        {"type": "ping", "id": "after"}
+                    ))
+                    await writer.drain()
+                    pong = json.loads(await reader.readline())
+                    return error, pong
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+
+            error, pong = _run(go())
+        assert error["type"] == "error"
+        assert error["code"] == "bad_frame"
+        assert pong == {"type": "pong", "id": "after"}
+        assert gateway.metrics.protocol_errors == 1
+
+    def test_unknown_frame_type_is_typed(self, scenario):
+        with _service(scenario) as service, GatewayServer(service) as gateway:
+            async def go():
+                async with GatewayClient("127.0.0.1", gateway.port) as client:
+                    return await client.request({"type": "teleport"})
+
+            frame = _run(go())
+        assert frame["type"] == "error"
+        assert frame["code"] == "unknown_type"
+
+    def test_bad_request_frame_is_typed(self, scenario):
+        with _service(scenario) as service, GatewayServer(service) as gateway:
+            async def go():
+                async with GatewayClient("127.0.0.1", gateway.port) as client:
+                    return await client.request(
+                        {"type": "localize", "observation": None}
+                    )
+
+            frame = _run(go())
+        assert frame["type"] == "error"
+        assert frame["code"] == "bad_request"
+
+    def test_dead_connection_reply_is_dropped_not_hung(self, scenario):
+        """Close right after sending: the reply is counted, never blocks."""
+        obs = _observations(scenario, 1, seed=2)[0]
+        with _service(scenario) as service, GatewayServer(service) as gateway:
+            async def go():
+                _, writer = await asyncio.open_connection(
+                    "127.0.0.1", gateway.port
+                )
+                writer.write(protocol.encode_frame({
+                    "type": "localize", "id": "doomed",
+                    "observation": protocol.observation_to_wire(obs),
+                    "candidate_count": 24, "seed": 3,
+                }))
+                await writer.drain()
+                writer.close()  # gone before the solve completes
+
+            _run(go())
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if gateway.metrics.replies_dropped >= 1:
+                    break
+                time.sleep(0.02)
+            assert gateway.metrics.replies_dropped >= 1
+            # The service still resolved its future and stayed healthy.
+            assert service.metrics.replies_ok >= 1
+
+
+class TestSessionsOverTheWire:
+    def test_tracked_stream_matches_local_loop_bitwise(self, scenario):
+        net, sniffers, fmap = scenario
+        windows = list(SyntheticLiveSource(
+            net, sniffers, user_count=2, rounds=4, rng=3
+        ))
+        with _service(scenario) as service, GatewayServer(service) as gateway:
+            async def go():
+                async with GatewayClient(
+                    "127.0.0.1", gateway.port, "tracker", timeout_s=60.0
+                ) as client:
+                    opened = await client.open_session("s", 2, seed=11)
+                    frames = []
+                    for obs in windows:
+                        frames.append(await client.track_step("s", obs))
+                    return opened, frames
+
+            opened, frames = _run(go())
+            session = service.close_session("s")
+        assert opened["type"] == "session_opened"
+        for frame in frames:
+            assert frame["ok"] is True and frame["stepped"] is True
+        local = TrackingSession("local", SequentialMonteCarloTracker(
+            net.field, net.positions[sniffers], 2,
+            rng=np.random.default_rng(11), fingerprint_map=fmap,
+        ))
+        for obs in windows:
+            local.process(obs)
+        assert np.array_equal(session.estimates(), local.estimates())
+        # The wire frames themselves carry the estimates bitwise.
+        wire_last = np.asarray(frames[-1]["estimates"], dtype=float)
+        assert np.array_equal(wire_last, local.estimates()[-len(wire_last):])
+
+    def test_duplicate_session_is_a_typed_error_frame(self, scenario):
+        with _service(scenario) as service, GatewayServer(service) as gateway:
+            async def go():
+                async with GatewayClient("127.0.0.1", gateway.port) as client:
+                    first = await client.open_session("dup", 1, seed=0)
+                    second = await client.open_session("dup", 1, seed=0)
+                    return first, second
+
+            first, second = _run(go())
+        assert first["type"] == "session_opened"
+        assert second["type"] == "error"
+        assert second["code"] == "bad_request"
+
+
+class TestObservability:
+    def test_trace_dump_carries_stage_decomposition(self, scenario):
+        obs = _observations(scenario, 2, seed=4)
+        with _service(scenario) as service, GatewayServer(
+            service, name="gw"
+        ) as gateway:
+            async def go():
+                async with GatewayClient(
+                    "127.0.0.1", gateway.port, timeout_s=60.0
+                ) as client:
+                    for r, o in enumerate(obs):
+                        await client.localize(o, id=f"t{r}",
+                                              candidate_count=24, seed=r)
+                    return await client.trace_dump(limit=10)
+
+            dump = _run(go())
+        assert dump["type"] == "traces"
+        spans = {t["span_id"] for t in dump["traces"]}
+        assert any(s.startswith("gw-") for s in spans)
+        stages = dump["stages"]
+        for stage in ("gateway_in", "admission", "solve", "reply",
+                      "gateway_out"):
+            assert stage in stages, f"missing stage {stage!r}"
+            assert stages[stage]["count"] >= 1
+        for trace in dump["traces"]:
+            assert trace["total_s"] == pytest.approx(
+                sum(trace["stages"].values())
+            )
+        assert dump["gateway"]["frames_received"] >= 3
+
+    def test_metrics_frame_and_subscription_pushes(self, scenario):
+        with _service(scenario) as service, GatewayServer(service) as gateway:
+            async def go():
+                async with GatewayClient("127.0.0.1", gateway.port) as client:
+                    one_shot = await client.metrics()
+                    pushes = await client.subscribe_metrics(
+                        3, interval_s=0.02
+                    )
+                    return one_shot, pushes
+
+            one_shot, pushes = _run(go())
+        assert one_shot["type"] == "metrics"
+        assert "gateway" in one_shot["snapshot"]
+        assert "service" in one_shot["snapshot"]
+        assert [p["seq"] for p in pushes] == [0, 1, 2]
+
+    def test_client_request_raises_when_gateway_dies(self, scenario):
+        with _service(scenario) as service:
+            gateway = GatewayServer(service)
+            gateway.start()
+
+            async def go():
+                client = GatewayClient(
+                    "127.0.0.1", gateway.port, timeout_s=5.0
+                )
+                await client.connect()
+                gateway.stop()  # connection torn down under the client
+                with pytest.raises(GatewayError):
+                    while True:  # first write may still land in buffers
+                        await client.ping()
+                await client.close()
+
+            try:
+                _run(go())
+            finally:
+                gateway.stop()
+
+
+class TestFleetBackend:
+    def test_localize_and_session_through_fleet(self, scenario):
+        fleet_mod = pytest.importorskip("repro.fleet")
+        net, sniffers, fmap = scenario
+        obs = _observations(scenario, 2, seed=6)
+        fleet = fleet_mod.ServeFleet(
+            net.field, net.positions[sniffers], workers=2,
+            fingerprint_map=fmap, max_batch=8, max_wait_s=0.002,
+        )
+        with fleet, GatewayServer(fleet) as gateway:
+            async def go():
+                async with GatewayClient(
+                    "127.0.0.1", gateway.port, timeout_s=120.0
+                ) as client:
+                    replies = [
+                        await client.localize(o, id=f"f{r}",
+                                              candidate_count=24, seed=r)
+                        for r, o in enumerate(obs)
+                    ]
+                    opened = await client.open_session("fs", 1, seed=5)
+                    snap = await client.metrics()
+                    return replies, opened, snap
+
+            replies, opened, snap = _run(go())
+        for frame in replies:
+            assert frame["ok"] is True
+        assert opened["type"] == "session_opened"
+        assert "fleet" in snap["snapshot"]

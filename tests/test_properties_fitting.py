@@ -45,17 +45,27 @@ def test_adding_true_user_never_hurts_fit(p1, p2, t1, t2):
 
 @given(p=positions)
 @settings(max_examples=100, deadline=None)
-def test_kernel_peaks_near_sink(p):
-    """The kernel's largest value is at the node closest to the sink
-    (after the d_floor region)."""
+def test_kernel_respects_domination_order(p):
+    """Closer node with a longer boundary run never has a smaller kernel.
+
+    ``g = (l^2 - d^2) / (2 d)`` is decreasing in the clamped distance
+    ``d`` and increasing in the boundary run ``l``, so whenever node
+    ``i`` dominates node ``j`` (``d_i <= d_j`` and ``l_i >= l_j``) the
+    kernel must order ``g_i >= g_j``. (The earlier "argmax is among the
+    30% nearest nodes" form was not a true property: a far node near the
+    field center can carry a longer boundary run than every nearby node
+    and legitimately host the peak.)
+    """
+    from repro.geometry.rays import boundary_distances
+
     sink = np.array(p)
     g = _MODEL.geometry_kernel(sink)
     d = np.hypot(_NODES[:, 0] - sink[0], _NODES[:, 1] - sink[1])
-    # All nodes beyond the clamp: kernel decreases with d along similar l;
-    # weaker, robust property: argmax kernel is among the 30% nearest nodes.
-    near_rank = np.argsort(d)
-    top_third = set(near_rank[: max(3, len(d) // 3)].tolist())
-    assert int(np.argmax(g)) in top_third
+    dd = np.maximum(d, _MODEL.d_floor)
+    length = boundary_distances(_FIELD, sink, _NODES)
+    dominates = (dd[:, None] <= dd[None, :]) & (length[:, None] >= length[None, :])
+    ordered = g[:, None] >= g[None, :] - 1e-9
+    assert np.all(ordered[dominates])
 
 
 @given(
